@@ -1,0 +1,72 @@
+// Command experiments regenerates the paper's tables and figures
+// (DESIGN.md §3 lists the experiment ids and the paper artifacts they
+// correspond to).
+//
+// Usage:
+//
+//	experiments [-run fig1,table2,fig4,fig5,fig6,policy,fig7,sens|all]
+//	            [-instr N] [-bench a,b,c] [-scale test|run|full] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"largewindow/internal/harness"
+	"largewindow/internal/workload"
+)
+
+func main() {
+	var (
+		runIDs  = flag.String("run", "all", "comma-separated experiment ids (see -list)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		instr   = flag.Uint64("instr", 300_000, "committed-instruction budget per run")
+		bench   = flag.String("bench", "", "comma-separated benchmark subset (default all 18)")
+		scale   = flag.String("scale", "run", "kernel scale: test, run, or full")
+		par     = flag.Int("parallel", 0, "concurrent simulations (default GOMAXPROCS)")
+		verbose = flag.Bool("v", false, "log each simulation run")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, ex := range harness.Experiments() {
+			fmt.Printf("%-8s %s\n", ex.ID, ex.Title)
+		}
+		return
+	}
+	var sc workload.Scale
+	switch *scale {
+	case "test":
+		sc = workload.ScaleTest
+	case "run":
+		sc = workload.ScaleRun
+	case "full":
+		sc = workload.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	opt := harness.Options{
+		MaxInstr: *instr,
+		Scale:    sc,
+		Parallel: *par,
+	}
+	if *bench != "" {
+		opt.Benchmarks = strings.Split(*bench, ",")
+	}
+	var logw io.Writer
+	if *verbose {
+		logw = os.Stderr
+	}
+	opt.Log = logw
+
+	s := harness.NewSession(opt)
+	ids := strings.Split(*runIDs, ",")
+	if err := harness.RunExperiments(s, ids, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

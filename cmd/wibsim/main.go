@@ -1,0 +1,134 @@
+// Command wibsim runs one benchmark kernel on one processor
+// configuration and prints detailed statistics — the basic user-facing
+// simulator front end.
+//
+// Usage:
+//
+//	wibsim -bench art [-config base|wib|iq2k|wib256] [-instr N]
+//	       [-wib-entries N] [-bitvectors N] [-policy banked|program-order|rr-load|oldest-load]
+//	       [-mem-latency N] [-dump]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"largewindow/internal/core"
+	"largewindow/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "treeadd", "benchmark kernel name (see -list)")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+		config  = flag.String("config", "base", "base, wib, iq2k, or custom")
+		instr   = flag.Uint64("instr", 1_000_000, "committed-instruction budget (0 = to completion)")
+		cycles  = flag.Int64("cycles", 200_000_000, "cycle budget")
+		scale   = flag.String("scale", "run", "kernel scale: test, run, full")
+		entries = flag.Int("wib-entries", 2048, "WIB/active-list entries (config=custom)")
+		bitvecs = flag.Int("bitvectors", 0, "bit-vector limit, 0=unlimited (config=custom)")
+		policy  = flag.String("policy", "banked", "reinsertion policy (config=custom)")
+		memLat  = flag.Int64("mem-latency", 250, "main memory latency in cycles")
+		dump    = flag.Bool("dump", false, "dump pipeline state after the run")
+		ptrace  = flag.Int("pipetrace", 0, "record and print the lifecycle of the last N instructions")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sp := range workload.All() {
+			fmt.Printf("%-10s (%s)\n", sp.Name, sp.Suite)
+		}
+		return
+	}
+	spec, ok := workload.Get(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (use -list)\n", *bench)
+		os.Exit(2)
+	}
+	var sc workload.Scale
+	switch *scale {
+	case "test":
+		sc = workload.ScaleTest
+	case "full":
+		sc = workload.ScaleFull
+	default:
+		sc = workload.ScaleRun
+	}
+
+	var cfg core.Config
+	switch *config {
+	case "base":
+		cfg = core.DefaultConfig()
+	case "wib":
+		cfg = core.WIBDefault()
+	case "iq2k":
+		cfg = core.ScaledConfig(2048, 2048)
+	case "custom":
+		cfg = core.WIBConfigSized(*entries, *bitvecs)
+		switch *policy {
+		case "banked":
+		case "program-order":
+			cfg.WIB.Banked = false
+			cfg.WIB.Policy = core.PolicyProgramOrder
+		case "rr-load":
+			cfg.WIB.Banked = false
+			cfg.WIB.Policy = core.PolicyRoundRobinLoad
+		case "oldest-load":
+			cfg.WIB.Banked = false
+			cfg.WIB.Policy = core.PolicyOldestLoad
+		default:
+			fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", *config)
+		os.Exit(2)
+	}
+	cfg.Mem.MemLatency = *memLat
+	cfg.TraceCapacity = *ptrace
+
+	prog := spec.Build(sc)
+	p, err := core.New(cfg, prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st, err := p.Run(*instr, *cycles)
+	if err != nil && !errors.Is(err, core.ErrBudget) {
+		fmt.Fprintln(os.Stderr, err)
+		if *dump {
+			fmt.Fprintln(os.Stderr, p.DebugDump(20))
+		}
+		os.Exit(1)
+	}
+
+	h := p.Hierarchy()
+	fmt.Printf("benchmark         %s (%s, %d static instrs)\n", spec.Name, spec.Suite, len(prog.Code))
+	fmt.Printf("configuration     %s\n", cfg.Name)
+	fmt.Printf("cycles            %d\n", st.Cycles)
+	fmt.Printf("committed         %d\n", st.Committed)
+	fmt.Printf("IPC               %.4f\n", st.IPC)
+	fmt.Printf("branch dir pred   %.4f (%d cond branches)\n", st.CondAccuracy(), st.CondBranches)
+	fmt.Printf("mispredicts       %d   misfetches %d   replays %d\n", st.Mispredicts, st.Misfetches, st.Replays)
+	l1d, l2 := h.L1DStats(), h.L2Stats()
+	fmt.Printf("L1D               %d accesses, miss ratio %.4f\n", l1d.Accesses, l1d.MissRatio())
+	fmt.Printf("L1I               %d accesses, miss ratio %.4f\n", h.L1IStats().Accesses, h.L1IStats().MissRatio())
+	fmt.Printf("UL2               %d accesses, local miss ratio %.4f\n", l2.Accesses, l2.MissRatio())
+	fmt.Printf("D-TLB miss ratio  %.5f\n", h.TLBMissRatio())
+	fmt.Printf("forwarded loads   %d   store-wait holds %d\n", st.ForwardedLoads, st.StoreWaitHits)
+	fmt.Printf("avg occupancy     %.1f (active list)\n", st.AvgROBOccupancy())
+	if cfg.WIB != nil {
+		fmt.Printf("WIB insertions    %d total, %d reinsertions, avg %.2f / max %d per instruction\n",
+			st.WIBInsertions, st.WIBReinsertions, st.AvgWIBInsertions(), st.WIBMaxInsertions)
+		fmt.Printf("WIB peak occupancy %d; bit-vector stalls %d\n", st.WIBPeakOccupancy, st.BitVectorStalls)
+	}
+	if *dump {
+		fmt.Println(p.DebugDump(20))
+	}
+	if *ptrace > 0 {
+		fmt.Println()
+		core.WriteTimeline(os.Stdout, p.Traces())
+	}
+}

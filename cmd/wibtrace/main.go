@@ -1,0 +1,93 @@
+// Command wibtrace runs a benchmark on the functional emulator and
+// reports its architectural profile (instruction mix, branch behaviour,
+// memory footprint), optionally disassembling the kernel or tracing the
+// first N executed instructions. It is the debugging companion to wibsim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"largewindow/internal/emu"
+	"largewindow/internal/isa"
+	"largewindow/internal/workload"
+)
+
+func main() {
+	var (
+		bench  = flag.String("bench", "treeadd", "benchmark kernel name")
+		scale  = flag.String("scale", "test", "kernel scale: test, run, full")
+		instr  = flag.Uint64("instr", 10_000_000, "instruction budget")
+		disasm = flag.Bool("disasm", false, "print the kernel's code and exit")
+		trace  = flag.Uint64("trace", 0, "print the first N executed instructions")
+	)
+	flag.Parse()
+
+	spec, ok := workload.Get(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	var sc workload.Scale
+	switch *scale {
+	case "run":
+		sc = workload.ScaleRun
+	case "full":
+		sc = workload.ScaleFull
+	default:
+		sc = workload.ScaleTest
+	}
+	prog := spec.Build(sc)
+
+	if *disasm {
+		for pc, in := range prog.Code {
+			fmt.Printf("%5d: %s\n", pc, isa.Disassemble(in))
+		}
+		return
+	}
+
+	m := emu.New(prog)
+	if *trace > 0 {
+		for i := uint64(0); i < *trace && !m.Halted; i++ {
+			fmt.Printf("%6d  pc=%-5d %s\n", i, m.PC, isa.Disassemble(prog.Code[m.PC]))
+			if err := m.Step(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	n, err := m.Run(*instr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+	}
+	fmt.Printf("benchmark     %s (%s)\n", spec.Name, spec.Suite)
+	fmt.Printf("static code   %d instructions\n", len(prog.Code))
+	fmt.Printf("initial data  %d words, heap %d KB\n", len(prog.Data), (len(prog.Data)*8)/1024)
+	fmt.Printf("executed      %d instructions (halted=%v)\n", n, m.Halted)
+	fmt.Printf("cond branches %d (%.1f%% taken)\n", m.CondCount,
+		100*float64(m.TakenCond)/float64(max(m.CondCount, 1)))
+	fmt.Printf("memory pages  %d touched\n", m.Mem.Pages())
+	fmt.Println("class mix:")
+	type kv struct {
+		c isa.Class
+		n uint64
+	}
+	var mix []kv
+	for c, cnt := range m.ClassMix {
+		mix = append(mix, kv{c, cnt})
+	}
+	sort.Slice(mix, func(i, j int) bool { return mix[i].n > mix[j].n })
+	for _, e := range mix {
+		fmt.Printf("  %-8s %9d (%.1f%%)\n", e.c, e.n, 100*float64(e.n)/float64(m.InstrCount))
+	}
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

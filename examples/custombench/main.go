@@ -1,0 +1,108 @@
+// Custombench: how to write your own kernel against the builder API and
+// sweep WIB design parameters over it. The kernel is a sparse
+// matrix-vector multiply (CSR): indexed gathers x[col[j]] produce
+// plentiful independent misses, so WIB capacity and the bit-vector budget
+// both matter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"largewindow"
+	"largewindow/internal/isa"
+)
+
+// buildSpMV assembles y = A*x for a random sparse matrix in CSR form.
+func buildSpMV(rows, nnzPerRow int) *largewindow.Program {
+	b := largewindow.NewBuilder("spmv")
+	nnz := rows * nnzPerRow
+	rowPtr := b.AllocWords(uint64(rows + 1))
+	colIdx := b.AllocWords(uint64(nnz))
+	vals := b.AllocWords(uint64(nnz))
+	x := b.AllocWords(uint64(rows))
+	y := b.AllocWords(uint64(rows))
+
+	// Deterministic scatter of column indices.
+	state := uint64(0x853c49e6748fea9b)
+	rnd := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(n))
+	}
+	for i := 0; i <= rows; i++ {
+		b.SetWord(rowPtr+uint64(i)*8, uint64(i*nnzPerRow))
+	}
+	for j := 0; j < nnz; j++ {
+		b.SetWord(colIdx+uint64(j)*8, uint64(rnd(rows)))
+		b.SetF64(vals+uint64(j)*8, 0.5+float64(j%7))
+	}
+	for i := 0; i < rows; i++ {
+		b.SetF64(x+uint64(i)*8, float64(i%13)*0.25)
+	}
+
+	// for i: acc=0; for j in row: acc += vals[j] * x[col[j]]; y[i]=acc
+	b.LiAddr(isa.S0, colIdx)
+	b.LiAddr(isa.S1, vals)
+	b.LiAddr(isa.S2, y)
+	b.LiAddr(isa.S4, x)
+	b.Li(isa.S5, int32(rows))
+	row := b.Here()
+	b.Li(isa.T0, 0)
+	b.Fcvt(isa.F0, isa.T0)
+	b.Li(isa.S3, int32(nnzPerRow))
+	elem := b.Here()
+	b.Ld(isa.T1, isa.S0, 0) // column index
+	b.Slli(isa.T1, isa.T1, 3)
+	b.Add(isa.T1, isa.T1, isa.S4)
+	b.Fld(isa.F1, isa.T1, 0) // x[col] — the scattered gather
+	b.Fld(isa.F2, isa.S1, 0) // matrix value (streaming)
+	b.Fmul(isa.F1, isa.F1, isa.F2)
+	b.Fadd(isa.F0, isa.F0, isa.F1)
+	b.Addi(isa.S0, isa.S0, 8)
+	b.Addi(isa.S1, isa.S1, 8)
+	b.Addi(isa.S3, isa.S3, -1)
+	b.Bne(isa.S3, isa.Zero, elem)
+	b.Fst(isa.F0, isa.S2, 0)
+	b.Addi(isa.S2, isa.S2, 8)
+	b.Addi(isa.S5, isa.S5, -1)
+	b.Bne(isa.S5, isa.Zero, row)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func main() {
+	prog := buildSpMV(20000, 8) // ~2.8 MB of matrix + vector data
+	base, err := largewindow.Simulate(largewindow.BaseConfig(), prog, 300_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("base machine: IPC %.3f (DL1 miss %.3f)\n\n", base.IPC(), base.DL1MissRatio)
+
+	fmt.Println("WIB capacity sweep (unlimited bit-vectors):")
+	for _, entries := range []int{128, 256, 512, 1024, 2048} {
+		cfg := largewindow.WIBConfigSized(entries, 0)
+		r, err := largewindow.Simulate(cfg, prog, 300_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %4d entries: IPC %.3f  speedup %.2fx  peak occupancy %d\n",
+			entries, r.IPC(), r.IPC()/base.IPC(), r.Stats.WIBPeakOccupancy)
+	}
+
+	fmt.Println("\nbit-vector (outstanding miss) sweep on the 2K WIB:")
+	for _, bv := range []int{4, 8, 16, 32, 64} {
+		cfg := largewindow.WIBConfigSized(2048, bv)
+		r, err := largewindow.Simulate(cfg, prog, 300_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2d bit-vectors: IPC %.3f  speedup %.2fx  stalls %d\n",
+			bv, r.IPC(), r.IPC()/base.IPC(), r.Stats.BitVectorStalls)
+	}
+}

@@ -1,0 +1,3 @@
+module largewindow
+
+go 1.22

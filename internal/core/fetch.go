@@ -1,0 +1,83 @@
+package core
+
+import "largewindow/internal/isa"
+
+// fetch brings up to FetchWidth instructions per cycle into the fetch
+// queue, following the predicted path. Control transfers consult the
+// branch predictor (speculatively updating its history); a predicted-taken
+// transfer ends the fetch group. Direct transfers that miss in the BTB pay
+// the 2-cycle misfetch bubble (target produced at decode); I-cache misses
+// stall fetch until the line returns (Table 1 timing).
+func (p *Processor) fetch() {
+	if p.fetchStall > p.now || p.fetchHalted {
+		return
+	}
+	codeLen := uint64(len(p.prog.Code))
+	curLine := ^uint64(0)
+	for n := 0; n < p.cfg.FetchWidth && int(p.ifqN) < len(p.ifq); n++ {
+		pc := p.fetchPC
+		if pc >= codeLen {
+			// Wrong-path fetch ran off the program (e.g. a mispredicted
+			// return). Wait for the resolving squash to redirect us.
+			return
+		}
+		line := (pc * 8) &^ 63
+		if line != curLine {
+			res := p.hier.Fetch(pc*8, p.now)
+			if res.L1Miss {
+				p.fetchStall = res.Ready
+				return
+			}
+			curLine = line
+		}
+		in := p.prog.Code[pc]
+		fe := ifqEntry{pc: pc, in: in, fetched: p.now}
+		next := pc + 1
+		stop := false
+		if in.Op.IsBranch() {
+			pred, cp := p.bp.Predict(pc, in)
+			fe.isBranch = true
+			fe.pred = pred
+			fe.cp = cp
+			if pred.Taken {
+				next = pred.Target
+				stop = true
+				if !pred.BTBHit && in.Op != isa.OpJr {
+					// Direct transfer, target not in BTB: the front end
+					// recomputes it at decode (2-cycle bubble).
+					p.fetchStall = p.now + p.cfg.MisfetchPenalty
+					p.stats.Misfetches++
+				}
+			}
+		}
+		p.pushIFQ(fe)
+		p.stats.FetchedInstrs++
+		p.fetchPC = next
+		if in.Op == isa.OpHalt {
+			p.fetchHalted = true
+			return
+		}
+		if stop {
+			return
+		}
+	}
+}
+
+func (p *Processor) pushIFQ(fe ifqEntry) {
+	idx := (p.ifqHead + p.ifqN) % int32(len(p.ifq))
+	p.ifq[idx] = fe
+	p.ifqN++
+}
+
+// flushIFQ squashes everything in the fetch queue (youngest first, so
+// branch-predictor fixup unwinds in the right order).
+func (p *Processor) flushIFQ() {
+	for i := p.ifqN - 1; i >= 0; i-- {
+		fe := &p.ifq[(p.ifqHead+i)%int32(len(p.ifq))]
+		if fe.isBranch {
+			p.bp.Squash(fe.cp)
+		}
+		p.stats.SquashedInstrs++
+	}
+	p.ifqN = 0
+}

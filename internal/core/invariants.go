@@ -1,0 +1,99 @@
+package core
+
+import "fmt"
+
+// checkInvariants validates the machine's structural bookkeeping. It is
+// O(active list + registers) and runs every cycle when Config.Debug is
+// set, so tests can assert that no cycle ever corrupts state. Violations
+// panic — they are simulator bugs, never program behaviour.
+func (p *Processor) checkInvariants() {
+	// Physical register accounting: every register is exactly one of
+	// {architecturally mapped, allocated in flight, free}.
+	p.checkRegSpace(false, p.intFree, &p.intMap)
+	p.checkRegSpace(true, p.fpFree, &p.fpMap)
+
+	// Issue-queue occupancy matches entry stages; WIB occupancy matches
+	// parked stages; LSQ counts match allocated entries.
+	var intQ, fpQ, parked, loads, stores int
+	size := int32(len(p.rob))
+	for i := int32(0); i < p.robCount; i++ {
+		e := &p.rob[(p.robHead+i)%size]
+		if e.stage == stFree {
+			panic(fmt.Sprintf("core: live ROB entry %d is stFree (seq %d)", (p.robHead+i)%size, e.seq))
+		}
+		switch e.stage {
+		case stWaiting, stRequest:
+			if e.intIQ {
+				intQ++
+			} else {
+				fpQ++
+			}
+		case stInWIB, stEligible:
+			parked++
+		}
+		if e.lq != noReg {
+			loads++
+		}
+		if e.sq != noReg {
+			stores++
+		}
+	}
+	if intQ != p.intIQ.count {
+		panic(fmt.Sprintf("core: int IQ count %d, entries say %d", p.intIQ.count, intQ))
+	}
+	if fpQ != p.fpIQ.count {
+		panic(fmt.Sprintf("core: fp IQ count %d, entries say %d", p.fpIQ.count, fpQ))
+	}
+	if p.wib != nil && parked != p.wib.occupancy {
+		panic(fmt.Sprintf("core: WIB occupancy %d, entries say %d", p.wib.occupancy, parked))
+	}
+	if loads != p.lsq.lqCount {
+		panic(fmt.Sprintf("core: LQ count %d, entries say %d", p.lsq.lqCount, loads))
+	}
+	if stores != p.lsq.sqCount {
+		panic(fmt.Sprintf("core: SQ count %d, entries say %d", p.lsq.sqCount, stores))
+	}
+	if p.wib != nil && p.wib.cfg.Org == OrgPoolOfBlocks {
+		used := 0
+		for c := range p.wib.cols {
+			used += p.wib.colBlocks[c]
+		}
+		if used+p.wib.poolFree != p.wib.cfg.Blocks {
+			panic(fmt.Sprintf("core: pool blocks leaked: used %d + free %d != %d",
+				used, p.wib.poolFree, p.wib.cfg.Blocks))
+		}
+	}
+}
+
+// checkRegSpace verifies one register space's free list and mappings are
+// disjoint and complete.
+func (p *Processor) checkRegSpace(fp bool, free []int32, specMap *[32]int32) {
+	total := len(p.intPR)
+	if fp {
+		total = len(p.fpPR)
+	}
+	seen := make([]uint8, total)
+	for _, r := range free {
+		if seen[r] != 0 {
+			panic(fmt.Sprintf("core: phys reg %d (fp=%v) on the free list twice", r, fp))
+		}
+		seen[r] = 1
+	}
+	for a, r := range specMap {
+		if seen[r] == 1 {
+			panic(fmt.Sprintf("core: arch %d maps to FREE phys %d (fp=%v)", a, r, fp))
+		}
+		seen[r] |= 2
+	}
+	// Every in-flight destination must be allocated (not free).
+	size := int32(len(p.rob))
+	for i := int32(0); i < p.robCount; i++ {
+		e := &p.rob[(p.robHead+i)%size]
+		if e.newPhys != noReg && e.destFP == fp {
+			if seen[e.newPhys] == 1 {
+				panic(fmt.Sprintf("core: in-flight dest phys %d (fp=%v, seq %d) is on the free list", e.newPhys, fp, e.seq))
+			}
+			seen[e.newPhys] |= 4
+		}
+	}
+}

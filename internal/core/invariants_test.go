@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"largewindow/internal/isa"
+	"largewindow/internal/workload"
+)
+
+// TestInvariantsHoldEveryCycle runs a squash-heavy and a WIB-heavy
+// workload with per-cycle structural checking enabled: any accounting
+// corruption panics.
+func TestInvariantsHoldEveryCycle(t *testing.T) {
+	cfgs := []Config{DefaultConfig(), WIBDefault(), WIBConfigSized(256, 16), WIBPoolOfBlocks(512, 4, 16)}
+	for i := range cfgs {
+		cfgs[i].Debug = true
+	}
+	for _, prog := range []func() *isa.Program{func() *isa.Program { return progMemAlias() },
+		func() *isa.Program { return progRecursive() },
+		func() *isa.Program { return progArraySweep(2048) }} {
+		for _, cfg := range cfgs {
+			p, err := New(cfg, prog())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.Run(0, 20_000_000); err != nil {
+				t.Fatalf("%s: %v", cfg.Name, err)
+			}
+		}
+	}
+	// One real kernel with branches, calls, and misses.
+	spec, _ := workload.Get("treeadd")
+	for _, cfg := range cfgs {
+		p, err := New(cfg, spec.Build(workload.ScaleTest))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(0, 20_000_000); err != nil {
+			t.Fatalf("%s/treeadd: %v", cfg.Name, err)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package core
+
+import (
+	"testing"
+
+	"largewindow/internal/workload"
+)
+
+// TestKernelGoldenEquivalence runs every benchmark kernel (test scale)
+// through the pipeline under the base and WIB configurations and checks
+// architectural equivalence with the emulator — the end-to-end
+// correctness statement for the whole repository.
+func TestKernelGoldenEquivalence(t *testing.T) {
+	cfgs := []Config{DefaultConfig(), WIBDefault(), WIBConfigSized(256, 16)}
+	for _, spec := range workload.All() {
+		prog := spec.Build(workload.ScaleTest)
+		for _, cfg := range cfgs {
+			prog, cfg := prog, cfg
+			t.Run(spec.Name+"/"+cfg.Name, func(t *testing.T) {
+				t.Parallel()
+				runBoth(t, cfg, prog)
+			})
+		}
+	}
+}

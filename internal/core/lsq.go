@@ -1,0 +1,183 @@
+package core
+
+// The load and store queues hold memory operations in program order from
+// dispatch to commit. Loads execute speculatively: they forward from the
+// youngest older store with a matching (known) address, and speculate past
+// older stores whose addresses are still unknown. When a store's address
+// resolves, any younger load that already executed with a matching address
+// and a stale source triggers a replay trap (squash from the load), and
+// the load's PC is entered in the store-wait table so future instances
+// wait (21264-style speculative load execution, paper Table 1).
+
+type lqEntry struct {
+	rob      int32
+	seq      uint64
+	addr     uint64 // 8-byte aligned effective address
+	addrOK   bool
+	executed bool
+	value    uint64
+	fwdSeq   uint64 // sequence of the forwarding store; 0 = read memory
+	valid    bool
+}
+
+type sqEntry struct {
+	rob    int32
+	seq    uint64
+	addr   uint64
+	addrOK bool
+	data   uint64
+	dataOK bool
+	valid  bool
+}
+
+type lsq struct {
+	lq             []lqEntry
+	lqHead, lqTail int32
+	lqCount        int
+
+	sq             []sqEntry
+	sqHead, sqTail int32
+	sqCount        int
+}
+
+func newLSQ(loads, stores int) *lsq {
+	return &lsq{lq: make([]lqEntry, loads), sq: make([]sqEntry, stores)}
+}
+
+func (l *lsq) loadFull() bool  { return l.lqCount == len(l.lq) }
+func (l *lsq) storeFull() bool { return l.sqCount == len(l.sq) }
+
+// allocLoad reserves the next load-queue slot in program order.
+func (l *lsq) allocLoad(rob int32, seq uint64) int32 {
+	idx := l.lqTail
+	l.lq[idx] = lqEntry{rob: rob, seq: seq, valid: true}
+	l.lqTail = (l.lqTail + 1) % int32(len(l.lq))
+	l.lqCount++
+	return idx
+}
+
+// allocStore reserves the next store-queue slot in program order.
+func (l *lsq) allocStore(rob int32, seq uint64) int32 {
+	idx := l.sqTail
+	l.sq[idx] = sqEntry{rob: rob, seq: seq, valid: true}
+	l.sqTail = (l.sqTail + 1) % int32(len(l.sq))
+	l.sqCount++
+	return idx
+}
+
+func (l *lsq) load(i int32) *lqEntry  { return &l.lq[i] }
+func (l *lsq) store(i int32) *sqEntry { return &l.sq[i] }
+
+// releaseLoad frees the head load slot at commit.
+func (l *lsq) releaseLoad(i int32) {
+	l.lq[i].valid = false
+	l.lqHead = (l.lqHead + 1) % int32(len(l.lq))
+	l.lqCount--
+}
+
+// releaseStore frees the head store slot at commit.
+func (l *lsq) releaseStore(i int32) {
+	l.sq[i].valid = false
+	l.sqHead = (l.sqHead + 1) % int32(len(l.sq))
+	l.sqCount--
+}
+
+// squashLoad rolls the tail back over a squashed load (youngest-first
+// walk).
+func (l *lsq) squashLoad(i int32) {
+	l.lq[i].valid = false
+	l.lqTail = i
+	l.lqCount--
+}
+
+// squashStore rolls the tail back over a squashed store.
+func (l *lsq) squashStore(i int32) {
+	l.sq[i].valid = false
+	l.sqTail = i
+	l.sqCount--
+}
+
+// olderStoreUnknown reports whether any store older than seq has an
+// unresolved address.
+func (l *lsq) olderStoreUnknown(seq uint64) bool {
+	for n, i := 0, l.sqHead; n < l.sqCount; n, i = n+1, (i+1)%int32(len(l.sq)) {
+		s := &l.sq[i]
+		if !s.valid || s.seq >= seq {
+			continue
+		}
+		if !s.addrOK {
+			return true
+		}
+	}
+	return false
+}
+
+// forward finds the youngest store older than seq with a known matching
+// address. Store addresses resolve before data (split STA/STD, as on the
+// 21264); a match whose data has not arrived yet reports dataOK=false and
+// the load must stall.
+func (l *lsq) forward(seq uint64, addr uint64) (value uint64, fwdSeq uint64, found, dataOK bool) {
+	for n, i := 0, l.sqHead; n < l.sqCount; n, i = n+1, (i+1)%int32(len(l.sq)) {
+		s := &l.sq[i]
+		if !s.valid || s.seq >= seq || !s.addrOK || s.addr != addr {
+			continue
+		}
+		if s.seq > fwdSeq || !found {
+			value, fwdSeq, found, dataOK = s.data, s.seq, true, s.dataOK
+		}
+	}
+	return value, fwdSeq, found, dataOK
+}
+
+// checkViolation finds the oldest load younger than the store that
+// already executed with a matching address and did not get its value from
+// this store or a younger one. It returns that load's ROB index.
+func (l *lsq) checkViolation(storeSeq uint64, addr uint64) (rob int32, seq uint64, found bool) {
+	for n, i := 0, l.lqHead; n < l.lqCount; n, i = n+1, (i+1)%int32(len(l.lq)) {
+		ld := &l.lq[i]
+		if !ld.valid || ld.seq <= storeSeq || !ld.executed || ld.addr != addr {
+			continue
+		}
+		if ld.fwdSeq >= storeSeq {
+			continue // masked by a younger store's forwarded value
+		}
+		if !found || ld.seq < seq {
+			rob, seq, found = ld.rob, ld.seq, true
+		}
+	}
+	return rob, seq, found
+}
+
+// storeWait is the 2048-entry load-wait predictor of the 21264: a bit per
+// (hashed) load PC, set on a replay trap, cleared periodically (every
+// 32768 cycles in Table 1).
+type storeWait struct {
+	bits      []bool
+	mask      uint64
+	interval  int64
+	nextClear int64
+}
+
+func newStoreWait(entries int, interval int64) *storeWait {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("core: store-wait entries must be a positive power of two")
+	}
+	return &storeWait{
+		bits:      make([]bool, entries),
+		mask:      uint64(entries - 1),
+		interval:  interval,
+		nextClear: interval,
+	}
+}
+
+func (s *storeWait) tick(now int64) {
+	if s.interval > 0 && now >= s.nextClear {
+		for i := range s.bits {
+			s.bits[i] = false
+		}
+		s.nextClear = now + s.interval
+	}
+}
+
+func (s *storeWait) predictsWait(pc uint64) bool { return s.bits[pc&s.mask] }
+func (s *storeWait) set(pc uint64)               { s.bits[pc&s.mask] = true }

@@ -1,0 +1,159 @@
+package core
+
+import "testing"
+
+func TestLSQAllocRelease(t *testing.T) {
+	l := newLSQ(2, 2)
+	if l.loadFull() || l.storeFull() {
+		t.Fatal("fresh LSQ full")
+	}
+	a := l.allocLoad(1, 10)
+	b := l.allocLoad(2, 11)
+	if !l.loadFull() {
+		t.Error("LQ should be full")
+	}
+	l.releaseLoad(a)
+	if l.loadFull() {
+		t.Error("LQ still full after release")
+	}
+	c := l.allocLoad(3, 12) // wraps
+	if c == b {
+		t.Error("allocated occupied slot")
+	}
+}
+
+func TestLSQForwardYoungestOlder(t *testing.T) {
+	l := newLSQ(4, 4)
+	s1 := l.allocStore(1, 10)
+	s2 := l.allocStore(2, 20)
+	s3 := l.allocStore(3, 30)
+	st1, st2, st3 := l.store(s1), l.store(s2), l.store(s3)
+	st1.addr, st1.data, st1.addrOK, st1.dataOK = 0x100, 111, true, true
+	st2.addr, st2.data, st2.addrOK, st2.dataOK = 0x100, 222, true, true
+	st3.addr, st3.data, st3.addrOK, st3.dataOK = 0x200, 333, true, true
+
+	// Load at seq 25 to 0x100 forwards from store seq 20 (youngest older).
+	v, fs, ok, dataOK := l.forward(25, 0x100)
+	if !ok || !dataOK || v != 222 || fs != 20 {
+		t.Errorf("forward = (%d,%d,%v,%v), want (222,20,true,true)", v, fs, ok, dataOK)
+	}
+	// Load at seq 15 sees only store 10.
+	v, fs, ok, dataOK = l.forward(15, 0x100)
+	if !ok || !dataOK || v != 111 || fs != 10 {
+		t.Errorf("forward = (%d,%d,%v,%v), want (111,10,true,true)", v, fs, ok, dataOK)
+	}
+	// Load at seq 5 sees nothing.
+	if _, _, ok, _ = l.forward(5, 0x100); ok {
+		t.Error("forwarded from younger store")
+	}
+	// No match for other address.
+	if _, _, ok, _ = l.forward(25, 0x300); ok {
+		t.Error("forwarded from non-matching store")
+	}
+	// A matching store whose data is pending reports dataOK=false.
+	st2.dataOK = false
+	if _, _, ok, dataOK = l.forward(25, 0x100); !ok || dataOK {
+		t.Errorf("pending-data forward = (%v,%v), want (true,false)", ok, dataOK)
+	}
+}
+
+func TestLSQOlderStoreUnknown(t *testing.T) {
+	l := newLSQ(4, 4)
+	s1 := l.allocStore(1, 10)
+	if !l.olderStoreUnknown(20) {
+		t.Error("unresolved older store not detected")
+	}
+	l.store(s1).addrOK = true
+	if l.olderStoreUnknown(20) {
+		t.Error("resolved store still reported unknown")
+	}
+	if l.olderStoreUnknown(5) {
+		t.Error("younger store reported as older")
+	}
+}
+
+func TestLSQViolation(t *testing.T) {
+	l := newLSQ(4, 4)
+	// Two younger loads executed to 0x100, one read memory (fwdSeq 0),
+	// one forwarded from a younger store (seq 40).
+	la := l.allocLoad(5, 30)
+	lb := l.allocLoad(6, 50)
+	lc := l.allocLoad(7, 60)
+	ea, eb, ec := l.load(la), l.load(lb), l.load(lc)
+	ea.addr, ea.executed, ea.fwdSeq = 0x100, true, 0
+	eb.addr, eb.executed, eb.fwdSeq = 0x100, true, 40
+	ec.addr, ec.executed, ec.fwdSeq = 0x100, true, 0
+
+	// Store at seq 20 resolves to 0x100: loads 30 and 60 are stale
+	// (fwdSeq < 20), load 50 is masked by store 40. Oldest stale is 30.
+	rob, seq, found := l.checkViolation(20, 0x100)
+	if !found || seq != 30 || rob != 5 {
+		t.Errorf("violation = (%d,%d,%v), want (5,30,true)", rob, seq, found)
+	}
+	// Store at seq 45: only load 50? no - load 50 fwdSeq 40 < 45 → stale;
+	// load 60 fwdSeq 0 < 45 → stale. Oldest is 50.
+	_, seq, found = l.checkViolation(45, 0x100)
+	if !found || seq != 50 {
+		t.Errorf("violation seq = %d, want 50", seq)
+	}
+	// Older loads are never violated.
+	if _, _, found = l.checkViolation(70, 0x100); found {
+		t.Error("violation reported for loads older than store")
+	}
+	// Non-matching address.
+	if _, _, found = l.checkViolation(20, 0x200); found {
+		t.Error("violation on non-matching address")
+	}
+	// Unexecuted loads don't violate.
+	ea.executed, eb.executed, ec.executed = false, false, false
+	if _, _, found = l.checkViolation(20, 0x100); found {
+		t.Error("violation on unexecuted load")
+	}
+}
+
+func TestLSQSquashRollsTail(t *testing.T) {
+	l := newLSQ(4, 4)
+	l.allocLoad(1, 10)
+	b := l.allocLoad(2, 20)
+	c := l.allocLoad(3, 30)
+	l.squashLoad(c)
+	l.squashLoad(b)
+	if l.lqCount != 1 {
+		t.Errorf("count = %d, want 1", l.lqCount)
+	}
+	d := l.allocLoad(4, 40)
+	if d != b {
+		t.Errorf("tail not rolled back: got slot %d, want %d", d, b)
+	}
+}
+
+func TestStoreWaitTable(t *testing.T) {
+	s := newStoreWait(16, 100)
+	if s.predictsWait(5) {
+		t.Error("fresh table predicts wait")
+	}
+	s.set(5)
+	if !s.predictsWait(5) {
+		t.Error("set bit not visible")
+	}
+	if !s.predictsWait(21) { // aliases 5 mod 16
+		t.Error("aliasing not applied")
+	}
+	s.tick(50)
+	if !s.predictsWait(5) {
+		t.Error("cleared too early")
+	}
+	s.tick(100)
+	if s.predictsWait(5) {
+		t.Error("not cleared at interval")
+	}
+}
+
+func TestStoreWaitBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for non-power-of-two table")
+		}
+	}()
+	newStoreWait(12, 100)
+}

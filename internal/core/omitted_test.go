@@ -1,0 +1,32 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"largewindow/internal/workload"
+)
+
+// TestOmittedBenchmarksAreSlow demonstrates why the paper excluded health
+// and ammp from its suites (§2.2.1: "their IPCs are unreasonably low"):
+// on the base machine both must land far below the suite averages.
+func TestOmittedBenchmarksAreSlow(t *testing.T) {
+	for _, name := range workload.OmittedNames() {
+		spec, ok := workload.GetOmitted(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		p, err := New(DefaultConfig(), spec.Build(workload.ScaleRun))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := p.Run(150_000, 50_000_000)
+		if err != nil && !errors.Is(err, ErrBudget) {
+			t.Fatalf("%s: %v", name, err)
+		}
+		t.Logf("%s base IPC = %.3f", name, st.IPC)
+		if st.IPC > 0.4 {
+			t.Errorf("%s base IPC %.3f — not slow enough to justify the paper's omission", name, st.IPC)
+		}
+	}
+}

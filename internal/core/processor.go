@@ -1,0 +1,537 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"largewindow/internal/bpred"
+	"largewindow/internal/emu"
+	"largewindow/internal/isa"
+	"largewindow/internal/mem"
+	"largewindow/internal/regfile"
+)
+
+// stage is the lifecycle state of an in-flight instruction.
+type stage uint8
+
+const (
+	stFree     stage = iota
+	stWaiting        // in an issue queue, operands not yet satisfied
+	stRequest        // in an issue queue, requesting issue
+	stInWIB          // parked in the WIB, load miss outstanding
+	stEligible       // in the WIB, load completed, awaiting reinsertion
+	stIssued         // executing (or load access outstanding)
+	stDone           // executed, awaiting in-order commit
+)
+
+// noReg marks an absent register operand or destination.
+const noReg int32 = -1
+
+// robEntry is one active-list slot. The same index names the
+// instruction's WIB slot (WIB entries are allocated in program order with
+// the active list, §3.3).
+type robEntry struct {
+	seq   uint64
+	pc    uint64
+	in    isa.Instr
+	class isa.Class
+	stage stage
+
+	archDest int8 // -1 when the instruction has no destination
+	destFP   bool
+	newPhys  int32
+	oldPhys  int32
+	src1Phys int32
+	src2Phys int32
+	src1FP   bool
+	src2FP   bool
+
+	waitCount int8 // unsatisfied source operands
+	intIQ     bool // which issue queue holds it
+
+	isBranch     bool
+	pred         bpred.Pred
+	bpCp         bpred.Checkpoint
+	actualTaken  bool
+	actualTarget uint64
+	resolved     bool
+
+	lq        int32 // load queue slot, -1
+	sq        int32 // store queue slot, -1
+	awaitData bool  // issued store waiting for its data operand
+	addrDone  bool  // issued store whose address has resolved
+
+	wibCol     int32 // bit-vector column holding it while stInWIB, -1
+	ownCol     int32 // bit-vector column this load miss allocated, -1
+	insertions int   // how many times it entered the WIB
+
+	dispatched int64 // cycle it entered the issue queue
+	done       bool  // result produced
+}
+
+// physReg is one physical register: its value, readiness, and the WIB
+// wait bit with its bit-vector index (§3.2). colGen guards against the
+// bit-vector being freed and reused while the wait bit is still set (the
+// producer has been reinserted but has not executed yet).
+type physReg struct {
+	value   uint64
+	ready   bool
+	wait    bool
+	col     int32
+	colGen  uint64
+	waiters []waiter
+}
+
+// waiter records an issue-queue entry waiting on a register; seq guards
+// against slot reuse.
+type waiter struct {
+	rob int32
+	seq uint64
+}
+
+// Processor is one simulated machine instance running one program.
+type Processor struct {
+	cfg  Config
+	prog *isa.Program
+
+	// Committed architectural state (the golden-comparable part).
+	memory *isa.Memory
+
+	// Physical registers and renaming.
+	intPR   []physReg
+	fpPR    []physReg
+	intMap  [isa.NumRegs]int32
+	fpMap   [isa.NumRegs]int32
+	intFree []int32
+	fpFree  []int32
+
+	// Retirement maps track the committed architectural mapping, so the
+	// final register state can be extracted for golden-model comparison.
+	retIntMap [isa.NumRegs]int32
+	retFPMap  [isa.NumRegs]int32
+
+	// Active list.
+	rob      []robEntry
+	robHead  int32
+	robTail  int32
+	robCount int32
+	nextSeq  uint64
+
+	// Front end.
+	fetchPC       uint64
+	fetchStall    int64 // no fetch before this cycle
+	fetchHalted   bool  // a Halt has been fetched on the current path
+	ifq           []ifqEntry
+	ifqHead, ifqN int32
+
+	// Issue.
+	intIQ  *issueQueue
+	fpIQ   *issueQueue
+	fus    fuPools
+	events eventQueue
+
+	// Memory system.
+	hier *mem.Hierarchy
+	lsq  *lsq
+	sw   *storeWait
+
+	// Prediction and register file timing.
+	bp    *bpred.Predictor
+	rfInt regfile.Model
+	rfFP  regfile.Model
+
+	wib *wib // nil when disabled
+
+	tracer *tracer // nil unless Config.TraceCapacity > 0
+
+	now     int64
+	halted  bool
+	haltSeq uint64 // seq of the committed Halt
+
+	stats Stats
+
+	// retry lists for loads that could not issue this cycle (store-wait,
+	// forwarding stall, bit-vector exhaustion).
+	deferredLoads []readyItem
+}
+
+type ifqEntry struct {
+	pc       uint64
+	in       isa.Instr
+	isBranch bool
+	pred     bpred.Pred
+	cp       bpred.Checkpoint
+	fetched  int64 // cycle the instruction entered the fetch queue
+}
+
+// New builds a processor for the given program.
+func New(cfg Config, prog *isa.Program) (*Processor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Processor{
+		cfg:    cfg,
+		prog:   prog,
+		memory: prog.NewMemoryImage(),
+		intPR:  make([]physReg, cfg.IntRegs),
+		fpPR:   make([]physReg, cfg.FPRegs),
+		rob:    make([]robEntry, cfg.ActiveList),
+		ifq:    make([]ifqEntry, cfg.IFQSize),
+		hier:   mem.NewHierarchy(cfg.Mem),
+		bp:     bpred.New(cfg.Bpred),
+		sw:     newStoreWait(cfg.StoreWaitEntries, cfg.StoreWaitClearInterval),
+	}
+	p.intIQ = newIssueQueue(cfg.IntIQSize)
+	p.fpIQ = newIssueQueue(cfg.FPIQSize)
+	p.fus = newFUPools(cfg)
+	p.lsq = newLSQ(cfg.LoadQueue, cfg.StoreQueue)
+
+	switch cfg.RegFile {
+	case RFTwoLevel:
+		p.rfInt = regfile.NewTwoLevel(cfg.IntRegs, cfg.RFL1Capacity, cfg.RFReadPorts, cfg.RFL2Latency)
+		p.rfFP = regfile.NewTwoLevel(cfg.FPRegs, cfg.RFL1Capacity, cfg.RFReadPorts, cfg.RFL2Latency)
+	case RFMultiBanked:
+		p.rfInt = regfile.NewMultiBanked(cfg.RFBanks, cfg.RFBankPorts)
+		p.rfFP = regfile.NewMultiBanked(cfg.RFBanks, cfg.RFBankPorts)
+	default:
+		p.rfInt = regfile.SingleLevel{}
+		p.rfFP = regfile.SingleLevel{}
+	}
+
+	// Architectural registers map to physical 0..31; the rest are free.
+	for a := 0; a < isa.NumRegs; a++ {
+		p.intMap[a] = int32(a)
+		p.fpMap[a] = int32(a)
+		p.retIntMap[a] = int32(a)
+		p.retFPMap[a] = int32(a)
+		p.intPR[a].ready = true
+		p.fpPR[a].ready = true
+	}
+	for r := isa.NumRegs; r < cfg.IntRegs; r++ {
+		p.intFree = append(p.intFree, int32(r))
+	}
+	for r := isa.NumRegs; r < cfg.FPRegs; r++ {
+		p.fpFree = append(p.fpFree, int32(r))
+	}
+	p.intPR[p.intMap[isa.SP]].value = prog.StackTop
+	p.intPR[p.intMap[isa.GP]].value = prog.DataBase
+
+	if cfg.WIB != nil {
+		p.wib = newWIB(*cfg.WIB, cfg.ActiveList, cfg.LoadQueue)
+	}
+	if cfg.TraceCapacity > 0 {
+		p.tracer = newTracer(cfg.TraceCapacity)
+	}
+	p.fetchPC = prog.Entry
+	p.rob[0].seq = 0
+	p.nextSeq = 1
+	return p, nil
+}
+
+// ErrBudget is returned by Run when the cycle or instruction budget is
+// exhausted before the program halts.
+var ErrBudget = errors.New("core: budget exhausted before halt")
+
+// ErrDeadlock is returned when the machine makes no progress for an
+// implausibly long time — always a simulator bug, never a valid outcome.
+var ErrDeadlock = errors.New("core: no commit progress (pipeline deadlock)")
+
+// Run simulates until the program's Halt commits, an instruction budget is
+// reached, or maxCycles elapses. It returns the statistics either way.
+func (p *Processor) Run(maxInstr uint64, maxCycles int64) (*Stats, error) {
+	lastCommit := p.stats.Committed
+	lastProgress := p.now
+	for !p.halted {
+		if (maxInstr > 0 && p.stats.Committed >= maxInstr) || (maxCycles > 0 && p.now >= maxCycles) {
+			p.stats.finish(p.now, p.cfg)
+			return &p.stats, ErrBudget
+		}
+		p.cycle()
+		if p.stats.Committed != lastCommit {
+			lastCommit = p.stats.Committed
+			lastProgress = p.now
+		} else if p.now-lastProgress > 1_000_000 {
+			p.stats.finish(p.now, p.cfg)
+			return &p.stats, fmt.Errorf("%w at cycle %d (pc=%d, rob=%d)", ErrDeadlock, p.now, p.fetchPC, p.robCount)
+		}
+	}
+	p.stats.finish(p.now, p.cfg)
+	return &p.stats, nil
+}
+
+// cycle advances the machine one clock.
+func (p *Processor) cycle() {
+	p.now++
+	p.sw.tick(p.now)
+	p.processEvents()
+	if p.halted {
+		return
+	}
+	p.commit()
+	if p.halted {
+		return
+	}
+	p.issue()
+	p.dispatch()
+	p.fetch()
+	p.stats.Cycles = p.now
+	if p.robCount > 0 {
+		p.stats.robOccupancy += uint64(p.robCount)
+		p.stats.occupancySamples++
+	}
+	if p.cfg.Debug {
+		p.checkInvariants()
+	}
+}
+
+// entry returns the ROB entry at index i.
+func (p *Processor) entry(i int32) *robEntry { return &p.rob[i] }
+
+// liveEntry validates that (rob, seq) still names the same instruction.
+func (p *Processor) liveEntry(rob int32, seq uint64) *robEntry {
+	e := &p.rob[rob]
+	if e.stage == stFree || e.seq != seq {
+		return nil
+	}
+	return e
+}
+
+func (p *Processor) pr(fp bool, idx int32) *physReg {
+	if fp {
+		return &p.fpPR[idx]
+	}
+	return &p.intPR[idx]
+}
+
+// readOperand returns the current value of a source operand; idx == noReg
+// reads as zero (absent operand or the hardwired integer zero register).
+func (p *Processor) readOperand(fp bool, idx int32) uint64 {
+	if idx == noReg {
+		return 0
+	}
+	return p.pr(fp, idx).value
+}
+
+// processEvents applies all completions scheduled for this cycle. Branch
+// resolutions are collected and the oldest misprediction (if any) triggers
+// a single recovery.
+func (p *Processor) processEvents() {
+	var worst *robEntry
+	var worstIdx int32
+	for {
+		ev, ok := p.events.popDue(p.now)
+		if !ok {
+			break
+		}
+		e := p.liveEntry(ev.rob, ev.seq)
+		if e == nil {
+			continue // squashed; slot reused or free
+		}
+		switch ev.kind {
+		case evExecDone:
+			p.completeExec(ev.rob, e)
+		case evLoadDone:
+			p.completeLoad(ev.rob, e)
+		}
+		if e.isBranch && e.resolved && p.mispredictedEntry(e) {
+			if worst == nil || e.seq < worst.seq {
+				worst = e
+				worstIdx = ev.rob
+			}
+		}
+	}
+	if worst != nil && p.liveEntry(worstIdx, worst.seq) != nil {
+		p.recoverBranch(worstIdx)
+	}
+}
+
+// mispredictedEntry reports whether a resolved branch disagrees with its
+// prediction (direction or target).
+func (p *Processor) mispredictedEntry(e *robEntry) bool {
+	if e.actualTaken != e.pred.Taken {
+		return true
+	}
+	return e.actualTaken && e.actualTarget != e.pred.Target
+}
+
+// completeExec finishes a non-load instruction: write the destination,
+// wake dependents, resolve branches, publish store addresses (which can
+// trigger replay traps). A store whose data operand is still outstanding
+// stays issued until the data arrives.
+func (p *Processor) completeExec(rob int32, e *robEntry) {
+	if e.newPhys != noReg {
+		p.writeResult(e, p.execValue(e))
+	}
+	if p.tracer != nil {
+		now := p.now
+		p.tracer.event(e.seq, func(t *InstrTrace) { t.Completed = now })
+	}
+	if e.sq != noReg {
+		p.storeAddressResolved(e)
+		e.addrDone = true
+		if p.lsq.store(e.sq).dataOK {
+			e.done = true
+			e.stage = stDone
+		}
+		return
+	}
+	e.done = true
+	e.stage = stDone
+	if e.isBranch {
+		p.resolveBranch(rob, e)
+	}
+}
+
+// execValue computes an instruction's result from its operand values via
+// the shared ISA semantics.
+func (p *Processor) execValue(e *robEntry) uint64 {
+	rs1 := p.readOperand(e.src1FP, e.src1Phys)
+	rs2 := p.readOperand(e.src2FP, e.src2Phys)
+	return isa.Eval(e.in, rs1, rs2, e.pc)
+}
+
+// writeResult deposits a value in the destination register, clears its
+// wait bit, notes the write for the register-file model, and wakes
+// waiters.
+func (p *Processor) writeResult(e *robEntry, v uint64) {
+	r := p.pr(e.destFP, e.newPhys)
+	r.value = v
+	r.ready = true
+	r.wait = false
+	r.col = -1
+	if e.destFP {
+		p.rfFP.Wrote(int(e.newPhys), p.now)
+	} else {
+		p.rfInt.Wrote(int(e.newPhys), p.now)
+	}
+	p.wakeWaiters(e.destFP, e.newPhys, false)
+}
+
+// resolveBranch computes the actual outcome of a branch at execute.
+func (p *Processor) resolveBranch(rob int32, e *robEntry) {
+	rs1 := p.readOperand(e.src1FP, e.src1Phys)
+	rs2 := p.readOperand(e.src2FP, e.src2Phys)
+	switch e.in.Op {
+	case isa.OpJr:
+		e.actualTaken = true
+		e.actualTarget = rs1
+	case isa.OpJ, isa.OpJal:
+		e.actualTaken = true
+		e.actualTarget = e.in.Target(e.pc)
+	default:
+		e.actualTaken = isa.BranchTaken(e.in, rs1, rs2)
+		e.actualTarget = e.in.Target(e.pc)
+	}
+	e.resolved = true
+}
+
+// commit retires completed instructions in program order.
+func (p *Processor) commit() {
+	for n := 0; n < p.cfg.CommitWidth && p.robCount > 0; n++ {
+		idx := p.robHead
+		e := &p.rob[idx]
+		if e.stage != stDone || !e.done {
+			return
+		}
+		p.stats.Committed++
+		p.stats.StreamHash = emu.MixHash(p.stats.StreamHash, e.pc)
+		p.stats.classMix[e.class]++
+		if p.tracer != nil {
+			now := p.now
+			p.tracer.event(e.seq, func(t *InstrTrace) { t.Committed = now })
+			p.tracer.archive(e.seq)
+		}
+
+		switch {
+		case e.class == isa.ClassHalt:
+			p.halted = true
+			p.haltSeq = e.seq
+		case e.sq != noReg:
+			p.commitStore(e)
+		case e.lq != noReg:
+			p.lsq.releaseLoad(e.lq)
+		}
+		if e.isBranch {
+			p.bp.Commit(e.pc, e.in, e.bpCp, e.actualTaken, e.actualTarget)
+			if e.in.Op.IsCondBranch() {
+				p.stats.CondBranches++
+				if e.pred.Taken == e.actualTaken {
+					p.stats.CondCorrect++
+				}
+			}
+		}
+		if e.insertions > 0 {
+			p.stats.WIBInstructions++
+			p.stats.WIBInsertions += uint64(e.insertions)
+			if e.insertions > p.stats.WIBMaxInsertions {
+				p.stats.WIBMaxInsertions = e.insertions
+			}
+		}
+		// Advance the retirement map and free the previous mapping of the
+		// architectural destination.
+		if e.newPhys != noReg {
+			if e.destFP {
+				p.retFPMap[e.archDest] = e.newPhys
+			} else {
+				p.retIntMap[e.archDest] = e.newPhys
+			}
+			if e.oldPhys != noReg {
+				p.freePhys(e.destFP, e.oldPhys)
+			}
+		}
+		e.stage = stFree
+		p.robHead = (p.robHead + 1) % int32(len(p.rob))
+		p.robCount--
+		if p.halted {
+			return
+		}
+	}
+}
+
+// commitStore performs the architectural memory write and the cache
+// access for a retiring store.
+func (p *Processor) commitStore(e *robEntry) {
+	s := p.lsq.store(e.sq)
+	p.memory.WriteWord(s.addr, s.data)
+	p.hier.Store(s.addr, p.now)
+	p.lsq.releaseStore(e.sq)
+}
+
+// freePhys returns a physical register to its free list.
+func (p *Processor) freePhys(fp bool, idx int32) {
+	r := p.pr(fp, idx)
+	r.ready = false
+	r.wait = false
+	r.col = -1
+	r.waiters = r.waiters[:0]
+	if fp {
+		p.fpFree = append(p.fpFree, idx)
+	} else {
+		p.intFree = append(p.intFree, idx)
+	}
+}
+
+// ArchState extracts the committed architectural state for golden-model
+// comparison. Valid after Run returns.
+func (p *Processor) ArchState() emu.State {
+	var st emu.State
+	for a := 0; a < isa.NumRegs; a++ {
+		st.IntReg[a] = p.intPR[p.retIntMap[a]].value
+		st.FPReg[a] = p.fpPR[p.retFPMap[a]].value
+	}
+	st.IntReg[isa.Zero] = 0
+	st.MemChecksum = p.memory.Checksum()
+	st.InstrCount = p.stats.Committed
+	st.StreamHash = p.stats.StreamHash
+	st.Halted = p.halted
+	return st
+}
+
+// Stats returns the current statistics (final after Run).
+func (p *Processor) Statistics() *Stats { return &p.stats }
+
+// Hierarchy exposes the memory system for stats reporting.
+func (p *Processor) Hierarchy() *mem.Hierarchy { return p.hier }
+
+// Predictor exposes the branch predictor for stats reporting.
+func (p *Processor) Predictor() *bpred.Predictor { return p.bp }

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"largewindow/internal/isa"
+)
+
+// genRandomProgram builds a random but well-formed, terminating program:
+// straight-line blocks of random ALU/FP/memory operations stitched
+// together with bounded counted loops and calls, over a private data
+// region. This is the heavy property test: for any such program, the
+// pipeline must commit exactly the emulator's architectural state under
+// every configuration.
+func genRandomProgram(seed int64) *isa.Program {
+	r := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder("rand")
+	const words = 512
+	data := b.AllocWords(words)
+	for i := uint64(0); i < words; i++ {
+		if r.Intn(2) == 0 {
+			b.SetWord(data+i*8, r.Uint64()%1000)
+		} else {
+			b.SetF64(data+i*8, r.Float64()*16-8)
+		}
+	}
+	// Register pools the generator may clobber freely.
+	intRegs := []isa.Reg{isa.T0, isa.T1, isa.T2, isa.T3, isa.T4, isa.T5, isa.S0, isa.S1, isa.S2, isa.A0, isa.A1}
+	fpRegs := []isa.Reg{isa.F0, isa.F1, isa.F2, isa.F3, isa.F4, isa.F5, isa.F6}
+	ri := func() isa.Reg { return intRegs[r.Intn(len(intRegs))] }
+	rf := func() isa.Reg { return fpRegs[r.Intn(len(fpRegs))] }
+
+	// A2 holds the data base pointer throughout; U0..U2 are loop counters.
+	b.LiAddr(isa.A2, data)
+	for _, reg := range intRegs {
+		b.Li(reg, int32(r.Intn(100)))
+	}
+	b.Li(isa.T0, 3)
+	b.Fcvt(isa.F7, isa.T0)
+	for _, reg := range fpRegs {
+		b.Fmov(reg, isa.F7)
+	}
+
+	emitOp := func() {
+		switch r.Intn(14) {
+		case 0:
+			b.Add(ri(), ri(), ri())
+		case 1:
+			b.Sub(ri(), ri(), ri())
+		case 2:
+			b.Mul(ri(), ri(), ri())
+		case 3:
+			b.Xor(ri(), ri(), ri())
+		case 4:
+			b.Addi(ri(), ri(), int32(r.Intn(64)-32))
+		case 5:
+			b.Slli(ri(), ri(), int32(r.Intn(8)))
+		case 6: // bounded index load
+			idx := ri()
+			b.Andi(idx, ri(), words-1)
+			b.Slli(idx, idx, 3)
+			b.Add(idx, idx, isa.A2)
+			b.Ld(ri(), idx, 0)
+		case 7: // bounded index store
+			idx := ri()
+			b.Andi(idx, ri(), words-1)
+			b.Slli(idx, idx, 3)
+			b.Add(idx, idx, isa.A2)
+			b.St(ri(), idx, 0)
+		case 8:
+			b.Fadd(rf(), rf(), rf())
+		case 9:
+			b.Fmul(rf(), rf(), rf())
+		case 10: // fp load
+			idx := ri()
+			b.Andi(idx, ri(), words-1)
+			b.Slli(idx, idx, 3)
+			b.Add(idx, idx, isa.A2)
+			b.Fld(rf(), idx, 0)
+		case 11: // fp store
+			idx := ri()
+			b.Andi(idx, ri(), words-1)
+			b.Slli(idx, idx, 3)
+			b.Add(idx, idx, isa.A2)
+			b.Fst(rf(), idx, 0)
+		case 12: // data-dependent short forward branch
+			skip := b.NewLabel()
+			b.Andi(isa.T5, ri(), 1)
+			b.Bne(isa.T5, isa.Zero, skip)
+			b.Add(ri(), ri(), ri())
+			b.Xor(ri(), ri(), ri())
+			b.Bind(skip)
+		case 13:
+			b.Div(ri(), ri(), ri())
+		}
+	}
+
+	// 2-4 sequential counted loops, each with a random body; one nested.
+	nLoops := 2 + r.Intn(3)
+	for l := 0; l < nLoops; l++ {
+		body := 4 + r.Intn(12)
+		if l == 1 {
+			b.Loop(isa.U0, int32(2+r.Intn(6)), func() {
+				b.Loop(isa.U1, int32(2+r.Intn(6)), func() {
+					for i := 0; i < body; i++ {
+						emitOp()
+					}
+				})
+			})
+			continue
+		}
+		b.Loop(isa.U0, int32(4+r.Intn(30)), func() {
+			for i := 0; i < body; i++ {
+				emitOp()
+			}
+		})
+	}
+	// A call/return pair for RAS coverage.
+	fn := b.NewLabel()
+	after := b.NewLabel()
+	b.Call(fn)
+	b.J(after)
+	b.Bind(fn)
+	for i := 0; i < 4; i++ {
+		emitOp()
+	}
+	b.Ret()
+	b.Bind(after)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestRandomProgramEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfgs := []Config{
+		DefaultConfig(),
+		ScaledConfig(512, 512),
+		WIBDefault(),
+		WIBConfigSized(128, 16),
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		prog := genRandomProgram(seed)
+		for _, cfg := range cfgs {
+			seed, prog, cfg := seed, prog, cfg
+			t.Run(prog.Name+"/"+cfg.Name, func(t *testing.T) {
+				t.Parallel()
+				_ = seed
+				runBoth(t, cfg, prog)
+			})
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package core
+
+import "largewindow/internal/isa"
+
+// dispatch renames and inserts instructions into the active list and
+// issue queues. WIB reinsertions share the dispatch bandwidth and take
+// priority, to guarantee forward progress for reawakened chains (§3.3).
+func (p *Processor) dispatch() {
+	slots := p.cfg.DecodeWidth
+	if p.wib != nil {
+		slots -= p.wib.reinsert(p, slots)
+		p.unblockHead()
+	}
+	for slots > 0 && p.ifqN > 0 {
+		if !p.dispatchOne(&p.ifq[p.ifqHead]) {
+			return
+		}
+		p.ifqHead = (p.ifqHead + 1) % int32(len(p.ifq))
+		p.ifqN--
+		slots--
+	}
+}
+
+// dispatchOne renames one instruction; it returns false when a structural
+// resource (active list, registers, issue queue, LSQ) is exhausted.
+func (p *Processor) dispatchOne(fe *ifqEntry) bool {
+	if p.robCount == int32(len(p.rob)) {
+		return false
+	}
+	in := fe.in
+	class := in.Op.Class()
+
+	dest := in.Dest()
+	needDest := dest.Valid && (dest.FP || dest.N != isa.Zero)
+	if needDest {
+		if dest.FP {
+			if len(p.fpFree) == 0 {
+				return false
+			}
+		} else if len(p.intFree) == 0 {
+			return false
+		}
+	}
+	isLoad := class == isa.ClassLoad
+	isStore := class == isa.ClassStore
+	if isLoad && p.lsq.loadFull() {
+		return false
+	}
+	if isStore && p.lsq.storeFull() {
+		return false
+	}
+	needIQ := true
+	switch class {
+	case isa.ClassNop, isa.ClassHalt:
+		needIQ = false
+	case isa.ClassJump:
+		needIQ = in.Op == isa.OpJr // J/Jal complete at rename
+	}
+	fpIQ := class == isa.ClassFPAdd || class == isa.ClassFPMult ||
+		class == isa.ClassFPDiv || class == isa.ClassFPSqrt
+	if needIQ {
+		q := p.intIQ
+		if fpIQ {
+			q = p.fpIQ
+		}
+		if q.full() {
+			return false
+		}
+	}
+
+	idx := p.robTail
+	e := &p.rob[idx]
+	*e = robEntry{
+		seq:      p.nextSeq,
+		pc:       fe.pc,
+		in:       in,
+		class:    class,
+		stage:    stDone, // refined below
+		archDest: -1,
+		newPhys:  noReg,
+		oldPhys:  noReg,
+		src1Phys: noReg,
+		src2Phys: noReg,
+		lq:       noReg,
+		sq:       noReg,
+		wibCol:   -1,
+		ownCol:   -1,
+		intIQ:    !fpIQ,
+	}
+	p.nextSeq++
+
+	// Rename sources against the current speculative map.
+	if s := in.Src1(); s.Valid {
+		e.src1FP = s.FP
+		if s.FP {
+			e.src1Phys = p.fpMap[s.N]
+		} else if s.N != isa.Zero {
+			e.src1Phys = p.intMap[s.N]
+		}
+	}
+	if s := in.Src2(); s.Valid {
+		e.src2FP = s.FP
+		if s.FP {
+			e.src2Phys = p.fpMap[s.N]
+		} else if s.N != isa.Zero {
+			e.src2Phys = p.intMap[s.N]
+		}
+	}
+
+	// Allocate and map the destination.
+	if needDest {
+		e.archDest = int8(dest.N)
+		e.destFP = dest.FP
+		if dest.FP {
+			e.newPhys = p.fpFree[len(p.fpFree)-1]
+			p.fpFree = p.fpFree[:len(p.fpFree)-1]
+			e.oldPhys = p.fpMap[dest.N]
+			p.fpMap[dest.N] = e.newPhys
+			pr := &p.fpPR[e.newPhys]
+			*pr = physReg{waiters: pr.waiters[:0], col: -1}
+		} else {
+			e.newPhys = p.intFree[len(p.intFree)-1]
+			p.intFree = p.intFree[:len(p.intFree)-1]
+			e.oldPhys = p.intMap[dest.N]
+			p.intMap[dest.N] = e.newPhys
+			pr := &p.intPR[e.newPhys]
+			*pr = physReg{waiters: pr.waiters[:0], col: -1}
+		}
+	}
+
+	if isLoad {
+		e.lq = p.lsq.allocLoad(idx, e.seq)
+	}
+	if isStore {
+		e.sq = p.lsq.allocStore(idx, e.seq)
+	}
+	if fe.isBranch {
+		e.isBranch = true
+		e.pred = fe.pred
+		e.bpCp = fe.cp
+	}
+
+	p.robTail = (p.robTail + 1) % int32(len(p.rob))
+	p.robCount++
+	if p.tracer != nil {
+		p.tracer.dispatch(e, fe.fetched, p.now)
+	}
+
+	switch {
+	case class == isa.ClassNop || class == isa.ClassHalt:
+		e.done = true
+	case class == isa.ClassJump && in.Op != isa.OpJr:
+		// Direct jumps complete at rename; the target was validated at
+		// fetch (pred.Target == in.Target always for direct ops).
+		e.done = true
+		e.resolved = true
+		e.actualTaken = true
+		e.actualTarget = in.Target(fe.pc)
+		if e.newPhys != noReg {
+			p.writeResult(e, fe.pc+1) // Jal link value
+		}
+	default:
+		e.dispatched = p.now
+		p.queueOf(e).count++
+		p.registerInIQ(idx)
+	}
+	return true
+}
+
+// moveToWIB parks a pretend-ready instruction in the WIB attached to
+// column col, frees its issue-queue slot (the caller adjusts occupancy),
+// and propagates the wait bit through its destination register (§3.2).
+func (p *Processor) moveToWIB(rob int32, e *robEntry, col int32) {
+	p.wib.park(p, rob, e, col)
+	if e.newPhys != noReg {
+		r := p.pr(e.destFP, e.newPhys)
+		r.wait = true
+		r.col = col
+		r.colGen = p.wib.gen(col)
+		p.wakeWaiters(e.destFP, e.newPhys, true)
+	}
+}
+
+// parkEligible moves a pretend-ready instruction whose bit-vectors have
+// all completed straight to the eligible pool: it leaves the issue queue
+// (the caller adjusts occupancy) and will be reinserted like any other WIB
+// entry. Its wait bit propagates with no live column, so transitive
+// dependents behave the same way.
+func (p *Processor) parkEligible(rob int32, e *robEntry) {
+	if p.tracer != nil {
+		now := p.now
+		p.tracer.event(e.seq, func(t *InstrTrace) { t.Parks = append(t.Parks, now) })
+	}
+	e.stage = stEligible
+	e.wibCol = -1
+	e.insertions++
+	p.stats.WIBInsertions++
+	p.wib.occupancy++
+	if p.wib.occupancy > p.wib.peak {
+		p.wib.peak = p.wib.occupancy
+		p.stats.WIBPeakOccupancy = p.wib.peak
+	}
+	p.wib.addEligible(e.seq, []wibRow{{rob: rob, seq: e.seq}})
+	if e.newPhys != noReg {
+		r := p.pr(e.destFP, e.newPhys)
+		r.wait = true
+		r.col = -1
+		p.wakeWaiters(e.destFP, e.newPhys, true)
+	}
+}
+
+// unblockHead guarantees forward progress for the oldest instruction: if
+// the active-list head is WIB-eligible but its issue queue is full, the
+// youngest queued instruction is spilled back to the eligible pool to
+// free a slot (the hardware analogue of the paper's anti-livelock
+// priority rules, applied at the queue level).
+func (p *Processor) unblockHead() {
+	if p.robCount == 0 {
+		return
+	}
+	h := &p.rob[p.robHead]
+	if h.stage != stEligible {
+		return
+	}
+	q := p.queueOf(h)
+	if !q.full() {
+		return
+	}
+	size := int32(len(p.rob))
+	for i := int32(1); i < p.robCount; i++ {
+		idx := (p.robTail - i + size) % size // youngest first
+		e := &p.rob[idx]
+		if (e.stage == stWaiting || e.stage == stRequest) && p.queueOf(e) == q {
+			q.count--
+			p.parkEligible(idx, e)
+			p.stats.HeadEvictions++
+			return
+		}
+	}
+}
+
+// recoverBranch squashes everything younger than a mispredicted branch,
+// repairs predictor state, and redirects fetch after the mispredict
+// penalty.
+func (p *Processor) recoverBranch(rob int32) {
+	e := &p.rob[rob]
+	p.squashFrom(e.seq, false)
+	p.bp.Squash(e.bpCp)
+	p.bp.Redo(e.pc, e.in, e.bpCp, e.actualTaken)
+	target := e.pc + 1
+	if e.actualTaken {
+		target = e.actualTarget
+	}
+	p.fetchPC = target
+	p.fetchStall = p.now + p.cfg.MispredictPenalty
+	p.fetchHalted = false
+	p.stats.Mispredicts++
+}
+
+// recoverReplay squashes from a load that read stale data (load-store
+// order violation), inclusive, marks its PC in the store-wait table, and
+// refetches it (21264 replay trap).
+func (p *Processor) recoverReplay(loadRob int32) {
+	e := &p.rob[loadRob]
+	pc := e.pc
+	p.squashFrom(e.seq, true)
+	p.sw.set(pc)
+	p.fetchPC = pc
+	p.fetchStall = p.now + p.cfg.MispredictPenalty
+	p.fetchHalted = false
+	p.stats.Replays++
+}
+
+// squashFrom removes all instructions younger than boundarySeq (and the
+// boundary itself when inclusive) from the machine, youngest first:
+// predictor fixup, rename-map rollback, register freeing, LSQ tail
+// rollback, queue occupancy, and WIB bookkeeping.
+func (p *Processor) squashFrom(boundarySeq uint64, inclusive bool) {
+	p.flushIFQ()
+	size := int32(len(p.rob))
+	for p.robCount > 0 {
+		idx := (p.robTail - 1 + size) % size
+		e := &p.rob[idx]
+		if e.seq < boundarySeq || (!inclusive && e.seq == boundarySeq) {
+			break
+		}
+		p.squashEntry(e)
+		p.robTail = idx
+		p.robCount--
+	}
+}
+
+func (p *Processor) squashEntry(e *robEntry) {
+	p.stats.SquashedInstrs++
+	if p.tracer != nil {
+		now := p.now
+		p.tracer.event(e.seq, func(t *InstrTrace) {
+			t.Squashed = true
+			t.SquashCyc = now
+		})
+		p.tracer.archive(e.seq)
+	}
+	if e.isBranch {
+		p.bp.Squash(e.bpCp)
+	}
+	switch e.stage {
+	case stWaiting, stRequest:
+		p.queueOf(e).count--
+	case stInWIB, stEligible:
+		p.wib.unpark()
+	}
+	if e.lq != noReg {
+		p.lsq.squashLoad(e.lq)
+	}
+	if e.sq != noReg {
+		p.lsq.squashStore(e.sq)
+	}
+	if e.ownCol >= 0 {
+		p.wib.releaseColumn(e.ownCol)
+	}
+	if e.newPhys != noReg {
+		if e.destFP {
+			p.fpMap[e.archDest] = e.oldPhys
+		} else {
+			p.intMap[e.archDest] = e.oldPhys
+		}
+		p.freePhys(e.destFP, e.newPhys)
+	}
+	e.stage = stFree
+}

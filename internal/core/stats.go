@@ -1,0 +1,87 @@
+package core
+
+import "largewindow/internal/isa"
+
+// Stats accumulates everything the evaluation reports.
+type Stats struct {
+	Name string
+
+	Cycles    int64
+	Committed uint64
+	IPC       float64
+
+	// StreamHash is the hash of the committed PC stream; it must match the
+	// functional emulator's for the same program (golden-model property).
+	StreamHash uint64
+
+	// Branch prediction (committed conditional branches only, as in the
+	// paper's "Branch Dir Pred" column).
+	CondBranches uint64
+	CondCorrect  uint64
+	Mispredicts  uint64 // recoveries triggered by branches
+	Misfetches   uint64 // BTB-miss bubbles for predicted-taken transfers
+
+	// Memory ordering.
+	Replays        uint64 // load-store order violation squashes
+	StoreWaitHits  uint64 // loads held back by the store-wait table
+	ForwardedLoads uint64
+
+	// Fetch.
+	FetchedInstrs  uint64
+	SquashedInstrs uint64
+
+	// WIB behaviour.
+	WIBInsertions    uint64 // total times instructions entered the WIB
+	WIBReinsertions  uint64 // instructions reinserted into an issue queue
+	WIBInstructions  uint64 // committed instructions that ever entered it
+	WIBMaxInsertions int    // worst single-instruction insertion count
+	BitVectorStalls  uint64 // load issues deferred for lack of a bit-vector
+	WIBPeakOccupancy int
+	HeadEvictions    uint64 // forward-progress spills of queued instructions
+	PoolSpills       uint64 // pool-of-blocks overflows (§3.5 organization)
+	SliceExecuted    uint64 // instructions executed on the slice core (§6)
+
+	classMix         [16]uint64
+	robOccupancy     uint64
+	occupancySamples uint64
+}
+
+// finish derives the summary figures at end of run.
+func (s *Stats) finish(now int64, cfg Config) {
+	s.Name = cfg.Name
+	s.Cycles = now
+	if now > 0 {
+		s.IPC = float64(s.Committed) / float64(now)
+	}
+}
+
+// CondAccuracy is the committed conditional-branch direction prediction
+// rate (paper Table 2 "Branch Dir Pred").
+func (s *Stats) CondAccuracy() float64 {
+	if s.CondBranches == 0 {
+		return 1
+	}
+	return float64(s.CondCorrect) / float64(s.CondBranches)
+}
+
+// AvgROBOccupancy reports mean active-list occupancy over non-empty
+// cycles.
+func (s *Stats) AvgROBOccupancy() float64 {
+	if s.occupancySamples == 0 {
+		return 0
+	}
+	return float64(s.robOccupancy) / float64(s.occupancySamples)
+}
+
+// AvgWIBInsertions is the mean number of WIB entries per instruction that
+// used the WIB at all (the paper reports 4 avg / 280 max for mgrid under
+// the banked policy).
+func (s *Stats) AvgWIBInsertions() float64 {
+	if s.WIBInstructions == 0 {
+		return 0
+	}
+	return float64(s.WIBInsertions) / float64(s.WIBInstructions)
+}
+
+// ClassCount returns how many instructions of the given class committed.
+func (s *Stats) ClassCount(c isa.Class) uint64 { return s.classMix[c] }

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"largewindow/internal/isa"
+)
+
+// InstrTrace is the recorded lifecycle of one dynamic instruction: the
+// cycle it passed each pipeline milestone, plus every trip it made into
+// the WIB. Squashed instructions are archived too (Squashed=true), which
+// makes wrong-path behaviour visible.
+type InstrTrace struct {
+	Seq       uint64
+	PC        uint64
+	Instr     isa.Instr
+	Fetched   int64
+	Dispatch  int64
+	Issued    int64 // last issue (re-issues overwrite)
+	Completed int64
+	Committed int64
+	Parks     []int64 // cycles the instruction entered the WIB
+	Reinserts []int64 // cycles it was reinserted into an issue queue
+	Squashed  bool
+	SquashCyc int64
+}
+
+// Latency returns dispatch-to-complete cycles (0 if incomplete).
+func (t *InstrTrace) Latency() int64 {
+	if t.Completed == 0 {
+		return 0
+	}
+	return t.Completed - t.Dispatch
+}
+
+// tracer records instruction lifecycles into a bounded ring. It is
+// attached to a Processor via Config.TraceCapacity.
+type tracer struct {
+	active map[uint64]*InstrTrace // by seq, in flight
+	done   []InstrTrace           // archive ring
+	next   int
+	filled bool
+}
+
+func newTracer(capacity int) *tracer {
+	return &tracer{
+		active: make(map[uint64]*InstrTrace),
+		done:   make([]InstrTrace, capacity),
+	}
+}
+
+func (tr *tracer) dispatch(e *robEntry, fetched int64, now int64) {
+	tr.active[e.seq] = &InstrTrace{
+		Seq: e.seq, PC: e.pc, Instr: e.in, Fetched: fetched, Dispatch: now,
+	}
+}
+
+func (tr *tracer) event(seq uint64, f func(*InstrTrace)) {
+	if t, ok := tr.active[seq]; ok {
+		f(t)
+	}
+}
+
+func (tr *tracer) archive(seq uint64) {
+	t, ok := tr.active[seq]
+	if !ok {
+		return
+	}
+	delete(tr.active, seq)
+	tr.done[tr.next] = *t
+	tr.next++
+	if tr.next == len(tr.done) {
+		tr.next = 0
+		tr.filled = true
+	}
+}
+
+// Traces returns the archived instruction lifecycles, oldest first.
+func (tr *tracer) traces() []InstrTrace {
+	if !tr.filled {
+		return append([]InstrTrace(nil), tr.done[:tr.next]...)
+	}
+	out := make([]InstrTrace, 0, len(tr.done))
+	out = append(out, tr.done[tr.next:]...)
+	out = append(out, tr.done[:tr.next]...)
+	return out
+}
+
+// Traces returns the archived lifecycle records (oldest first) when
+// tracing was enabled via Config.TraceCapacity.
+func (p *Processor) Traces() []InstrTrace {
+	if p.tracer == nil {
+		return nil
+	}
+	return p.tracer.traces()
+}
+
+// WriteTimeline renders archived traces as a per-instruction timeline.
+func WriteTimeline(w io.Writer, traces []InstrTrace) {
+	fmt.Fprintf(w, "%-8s %-6s %-24s %8s %8s %8s %8s %8s %-s\n",
+		"seq", "pc", "instruction", "fetch", "disp", "issue", "done", "commit", "wib")
+	for i := range traces {
+		t := &traces[i]
+		status := ""
+		if t.Squashed {
+			status = fmt.Sprintf(" SQUASHED@%d", t.SquashCyc)
+		}
+		wib := ""
+		if len(t.Parks) > 0 {
+			wib = fmt.Sprintf("parks=%v reinserts=%v", t.Parks, t.Reinserts)
+		}
+		fmt.Fprintf(w, "%-8d %-6d %-24s %8d %8d %8d %8d %8d %s%s\n",
+			t.Seq, t.PC, t.Instr.String(), t.Fetched, t.Dispatch, t.Issued,
+			t.Completed, t.Committed, wib, status)
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsLifecycle(t *testing.T) {
+	cfg := WIBConfigSized(256, 0)
+	cfg.TraceCapacity = 4096
+	p := parkChain(t, cfg, 24)
+	if _, err := p.Run(0, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	traces := p.Traces()
+	if len(traces) == 0 {
+		t.Fatal("no traces recorded")
+	}
+	var sawWIB, sawCommit bool
+	for i := range traces {
+		tr := &traces[i]
+		if tr.Committed > 0 {
+			sawCommit = true
+			if tr.Dispatch == 0 || tr.Fetched == 0 {
+				t.Errorf("seq %d committed without dispatch/fetch stamps: %+v", tr.Seq, tr)
+			}
+			if tr.Committed < tr.Dispatch {
+				t.Errorf("seq %d committed (%d) before dispatch (%d)", tr.Seq, tr.Committed, tr.Dispatch)
+			}
+			if tr.Completed > 0 && tr.Committed < tr.Completed {
+				t.Errorf("seq %d committed before completing", tr.Seq)
+			}
+		}
+		if len(tr.Parks) > 0 {
+			sawWIB = true
+			if len(tr.Reinserts) == 0 && !tr.Squashed && tr.Committed > 0 {
+				t.Errorf("seq %d parked but committed without reinsertion", tr.Seq)
+			}
+		}
+	}
+	if !sawCommit {
+		t.Error("no committed instructions in trace")
+	}
+	if !sawWIB {
+		t.Error("no WIB trips in trace for a miss-bound chain")
+	}
+}
+
+func TestTracerRingBounds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TraceCapacity = 64
+	p := parkChain(t, cfg, 24)
+	if _, err := p.Run(0, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	traces := p.Traces()
+	if len(traces) != 64 {
+		t.Errorf("ring returned %d entries, want capacity 64", len(traces))
+	}
+	// Oldest-first ordering by sequence.
+	for i := 1; i < len(traces); i++ {
+		if traces[i].Seq < traces[i-1].Seq && !traces[i-1].Squashed && !traces[i].Squashed {
+			t.Errorf("trace order violated at %d: %d after %d", i, traces[i].Seq, traces[i-1].Seq)
+		}
+	}
+}
+
+func TestTracerDisabledByDefault(t *testing.T) {
+	p, err := New(DefaultConfig(), progALUChain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(0, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Traces() != nil {
+		t.Error("tracing active without TraceCapacity")
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	cfg := WIBConfigSized(256, 0)
+	cfg.TraceCapacity = 256
+	p := parkChain(t, cfg, 16)
+	if _, err := p.Run(0, 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteTimeline(&sb, p.Traces())
+	out := sb.String()
+	for _, want := range []string{"seq", "commit", "parks="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q", want)
+		}
+	}
+}
+
+func TestTracerSeesSquashes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TraceCapacity = 8192
+	p, err := New(cfg, progBranchy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(0, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	squashed := 0
+	for _, tr := range p.Traces() {
+		if tr.Squashed {
+			squashed++
+			if tr.Committed != 0 {
+				t.Errorf("seq %d both squashed and committed", tr.Seq)
+			}
+		}
+	}
+	if squashed == 0 {
+		t.Error("branchy program produced no squashed traces")
+	}
+}

@@ -1,0 +1,492 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// This file implements the paper's contribution: the Waiting Instruction
+// Buffer (§3.3). Every active-list slot owns a WIB slot (allocation in
+// program order), so the ROB index doubles as the WIB row. Dependence on
+// an outstanding load miss is tracked with one bit-vector "column" per
+// outstanding load; rows are appended as instructions are moved out of the
+// issue queue. On load completion the column's surviving rows become
+// eligible and are reinserted into the issue queues through the configured
+// selection policy, sharing (and taking priority for) dispatch bandwidth.
+//
+// Squash handling is the lazy realization of §3.3.2's bit-clearing: rows
+// carry the instruction's sequence number, and stale rows (squashed, or
+// slot reused) are dropped when validated at completion or selection time.
+
+type wibRow struct {
+	rob int32
+	seq uint64
+}
+
+type wibColumn struct {
+	active  bool
+	loadSeq uint64
+	rows    []wibRow
+}
+
+// wibGroup is the surviving dependence chain of one completed load, used
+// by the per-load selection policies.
+type wibGroup struct {
+	loadSeq uint64
+	rows    []wibRow // sorted by seq (program order)
+}
+
+type rowHeap []wibRow
+
+func (h rowHeap) Len() int            { return len(h) }
+func (h rowHeap) Less(i, j int) bool  { return h[i].seq < h[j].seq }
+func (h rowHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *rowHeap) Push(x interface{}) { *h = append(*h, x.(wibRow)) }
+func (h *rowHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type wib struct {
+	cfg  WIBConfig
+	cols []wibColumn
+	gens []uint64 // per-column allocation generation (wait-bit staleness)
+	free []int32
+
+	// Banked organization: eligible rows per bank, plus the rotating
+	// sticky priority order (§3.3.1).
+	bankElig [][]wibRow
+	bankPrio []int32
+
+	// Idealized / non-banked policies.
+	elig       rowHeap    // program-order policy
+	groups     []wibGroup // per-load policies
+	rrNext     int        // round-robin cursor over groups
+	nextAccess int64      // non-banked multicycle access gate
+
+	occupancy int // rows currently parked (stInWIB or stEligible)
+	peak      int
+
+	// Pool-of-blocks organization (§3.5): blocks remaining in the shared
+	// pool, per-column block counts, and the deposit-order reinsertion
+	// FIFO.
+	poolFree  int
+	colBlocks []int
+	chainFIFO []wibRow
+}
+
+func newWIB(cfg WIBConfig, activeList, loadQueue int) *wib {
+	if cfg.SliceWidth > 0 {
+		// The slice core consumes the program-order eligible heap.
+		cfg.Banked = false
+		cfg.Policy = PolicyProgramOrder
+	}
+	if !cfg.Banked && cfg.Policy == PolicyBanked {
+		// A non-banked WIB extracts in full program order (§4.5).
+		cfg.Policy = PolicyProgramOrder
+	}
+	nCols := cfg.BitVectors
+	if nCols <= 0 {
+		// Unlimited: bounded by the number of loads that can be in flight.
+		nCols = loadQueue
+	}
+	w := &wib{cfg: cfg, cols: make([]wibColumn, nCols), gens: make([]uint64, nCols)}
+	for i := nCols - 1; i >= 0; i-- {
+		w.free = append(w.free, int32(i))
+	}
+	if cfg.Org == OrgPoolOfBlocks {
+		if w.cfg.BlockSlots <= 0 {
+			w.cfg.BlockSlots = 32
+		}
+		if w.cfg.Blocks <= 0 {
+			w.cfg.Blocks = cfg.Entries / w.cfg.BlockSlots
+		}
+		w.poolFree = w.cfg.Blocks
+		w.colBlocks = make([]int, nCols)
+		// Chains are reinserted in deposit order; banking does not apply.
+		w.cfg.Banked = false
+	}
+	if w.cfg.Banked {
+		w.bankElig = make([][]wibRow, w.cfg.Banks)
+		for b := 0; b < w.cfg.Banks; b++ {
+			w.bankPrio = append(w.bankPrio, int32(b))
+		}
+	}
+	return w
+}
+
+// blockAvailable reserves deposit space for one more instruction on a
+// pool-of-blocks column, claiming a fresh block from the pool when the
+// current one is full. It reports false when the pool is exhausted.
+func (w *wib) blockAvailable(c int32) bool {
+	if w.cfg.Org != OrgPoolOfBlocks {
+		return true
+	}
+	if len(w.cols[c].rows) < w.colBlocks[c]*w.cfg.BlockSlots {
+		return true
+	}
+	if w.poolFree == 0 {
+		return false
+	}
+	w.poolFree--
+	w.colBlocks[c]++
+	return true
+}
+
+// releaseBlocks returns a column's blocks to the pool.
+func (w *wib) releaseBlocks(c int32) {
+	if w.cfg.Org != OrgPoolOfBlocks {
+		return
+	}
+	w.poolFree += w.colBlocks[c]
+	w.colBlocks[c] = 0
+}
+
+// allocColumn claims a bit-vector for a new outstanding load miss.
+func (w *wib) allocColumn(loadSeq uint64) (int32, bool) {
+	if len(w.free) == 0 {
+		return -1, false
+	}
+	c := w.free[len(w.free)-1]
+	w.free = w.free[:len(w.free)-1]
+	col := &w.cols[c]
+	col.active = true
+	col.loadSeq = loadSeq
+	col.rows = col.rows[:0]
+	w.gens[c]++
+	return c, true
+}
+
+// gen returns the current allocation generation of column c.
+func (w *wib) gen(c int32) uint64 { return w.gens[c] }
+
+// fresh reports whether (c, gen) still names a live bit-vector.
+func (w *wib) fresh(c int32, gen uint64) bool {
+	return c >= 0 && int(c) < len(w.cols) && w.cols[c].active && w.gens[c] == gen
+}
+
+// releaseColumn frees a bit-vector without completing it (load squashed,
+// or the miss turned out not to trigger the WIB).
+func (w *wib) releaseColumn(c int32) {
+	if !w.cols[c].active {
+		return
+	}
+	w.releaseBlocks(c)
+	w.cols[c].active = false
+	w.free = append(w.free, c)
+}
+
+// park moves an instruction into the WIB, attached to column c.
+func (w *wib) park(p *Processor, rob int32, e *robEntry, c int32) {
+	if p.tracer != nil {
+		now := p.now
+		p.tracer.event(e.seq, func(t *InstrTrace) { t.Parks = append(t.Parks, now) })
+	}
+	e.stage = stInWIB
+	e.wibCol = c
+	e.insertions++
+	p.stats.WIBInsertions++
+	w.cols[c].rows = append(w.cols[c].rows, wibRow{rob: rob, seq: e.seq})
+	w.occupancy++
+	if w.occupancy > w.peak {
+		w.peak = w.occupancy
+		p.stats.WIBPeakOccupancy = w.peak
+	}
+}
+
+// unpark is the occupancy counterpart of park, used at reinsertion and
+// squash.
+func (w *wib) unpark() {
+	if w.occupancy > 0 {
+		w.occupancy--
+	}
+}
+
+// completeColumn converts a column's surviving rows into eligible
+// instructions and frees the bit-vector.
+func (w *wib) completeColumn(p *Processor, c int32) {
+	col := &w.cols[c]
+	var live []wibRow
+	for _, r := range col.rows {
+		e := p.liveEntry(r.rob, r.seq)
+		if e == nil || e.stage != stInWIB || e.wibCol != c {
+			continue
+		}
+		e.stage = stEligible
+		live = append(live, r)
+	}
+	w.addEligible(col.loadSeq, live)
+	w.releaseBlocks(c)
+	col.active = false
+	col.rows = col.rows[:0]
+	w.free = append(w.free, c)
+}
+
+// addEligible routes newly eligible rows into the structure the selection
+// policy consumes.
+func (w *wib) addEligible(loadSeq uint64, live []wibRow) {
+	switch {
+	case w.cfg.Org == OrgPoolOfBlocks:
+		// Deposit (dependence-chain) order, not program order (§3.5).
+		w.chainFIFO = append(w.chainFIFO, live...)
+	case w.cfg.Banked:
+		for _, r := range live {
+			b := int(r.rob) % w.cfg.Banks
+			w.bankElig[b] = append(w.bankElig[b], r)
+		}
+	case w.cfg.Policy == PolicyProgramOrder:
+		for _, r := range live {
+			heap.Push(&w.elig, r)
+		}
+	default: // per-load policies keep group identity
+		if len(live) > 0 {
+			sort.Slice(live, func(i, j int) bool { return live[i].seq < live[j].seq })
+			w.groups = append(w.groups, wibGroup{loadSeq: loadSeq, rows: live})
+		}
+	}
+}
+
+// reinsert moves up to maxSlots eligible instructions back into the issue
+// queues and returns how many dispatch slots were consumed.
+func (w *wib) reinsert(p *Processor, maxSlots int) int {
+	if maxSlots <= 0 {
+		return 0
+	}
+	if w.cfg.SliceWidth > 0 {
+		return w.sliceProcess(p, maxSlots)
+	}
+	if w.cfg.Org == OrgPoolOfBlocks {
+		return w.reinsertChain(p, maxSlots)
+	}
+	if w.cfg.Banked {
+		return w.reinsertBanked(p, maxSlots)
+	}
+	if w.cfg.AccessLatency > 0 {
+		// Non-banked multicycle WIB: one full-width extraction per access,
+		// a new access can start every AccessLatency cycles (§4.5).
+		if p.now < w.nextAccess {
+			return 0
+		}
+		n := w.reinsertProgramOrder(p, maxSlots)
+		if n > 0 {
+			w.nextAccess = p.now + w.cfg.AccessLatency
+		}
+		return n
+	}
+	switch w.cfg.Policy {
+	case PolicyProgramOrder:
+		return w.reinsertProgramOrder(p, maxSlots)
+	case PolicyRoundRobinLoad:
+		return w.reinsertGroups(p, maxSlots, true)
+	case PolicyOldestLoad:
+		return w.reinsertGroups(p, maxSlots, false)
+	default:
+		return w.reinsertProgramOrder(p, maxSlots)
+	}
+}
+
+// tryReinsertRow validates a row and, if its issue queue has room, puts
+// it back. Returns (inserted, blocked): blocked means the row is live but
+// its queue is full.
+func (w *wib) tryReinsertRow(p *Processor, r wibRow) (bool, bool) {
+	e := p.liveEntry(r.rob, r.seq)
+	if e == nil || e.stage != stEligible {
+		return false, false // stale (squashed); drop
+	}
+	q := p.queueOf(e)
+	if q.full() {
+		return false, true
+	}
+	q.count++
+	w.unpark()
+	p.stats.WIBReinsertions++
+	if p.tracer != nil {
+		now := p.now
+		p.tracer.event(e.seq, func(t *InstrTrace) { t.Reinserts = append(t.Reinserts, now) })
+	}
+	// §6 future work: prefetch the sources into the two-level register
+	// file's first level so the register-read stage hits.
+	if p.cfg.RFPrefetchOnReinsert {
+		p.prefetchSources(e)
+	}
+	// Leaving the WIB clears the destination's wait bit: consumers now
+	// synchronize on the true ready bit again (the register stays
+	// not-ready until this instruction executes).
+	if e.newPhys != noReg {
+		pr := p.pr(e.destFP, e.newPhys)
+		if pr.wait {
+			pr.wait = false
+			pr.col = -1
+		}
+	}
+	p.registerInIQ(r.rob)
+	return true, false
+}
+
+// reinsertBanked implements the hardware organization: banks of the
+// appropriate parity each offer their oldest eligible instruction; issue
+// queue slots are granted in sticky round-robin priority order — a bank
+// that could not place its instruction keeps top priority, a bank that
+// placed one (or had none) drops to the bottom (§3.3.1).
+func (w *wib) reinsertBanked(p *Processor, maxSlots int) int {
+	used := 0
+	parity := int(p.now & 1)
+	var blockedBanks, doneBanks []int32
+	for _, b := range w.bankPrio {
+		if int(b)%2 != parity || used >= maxSlots {
+			// Inaccessible this cycle (or out of bandwidth): keep relative
+			// priority for next time.
+			blockedBanks = append(blockedBanks, b)
+			continue
+		}
+		row, ok := w.oldestInBank(p, int(b))
+		if !ok {
+			doneBanks = append(doneBanks, b)
+			continue
+		}
+		ins, blocked := w.tryReinsertRow(p, row)
+		switch {
+		case ins:
+			w.removeFromBank(int(b), row)
+			used++
+			doneBanks = append(doneBanks, b)
+		case blocked:
+			blockedBanks = append(blockedBanks, b)
+		default:
+			// Row was stale and has been dropped; retry this bank next
+			// access.
+			w.removeFromBank(int(b), row)
+			blockedBanks = append(blockedBanks, b)
+		}
+	}
+	w.bankPrio = append(blockedBanks, doneBanks...)
+	return used
+}
+
+// oldestInBank scans a bank's eligible rows for the oldest live one,
+// compacting stale rows away as it goes.
+func (w *wib) oldestInBank(p *Processor, b int) (wibRow, bool) {
+	rows := w.bankElig[b]
+	best := -1
+	out := rows[:0]
+	for _, r := range rows {
+		e := p.liveEntry(r.rob, r.seq)
+		if e == nil || e.stage != stEligible {
+			continue // stale; drop during compaction
+		}
+		out = append(out, r)
+		if best == -1 || r.seq < out[best].seq {
+			best = len(out) - 1
+		}
+	}
+	w.bankElig[b] = out
+	if best == -1 {
+		return wibRow{}, false
+	}
+	return out[best], true
+}
+
+func (w *wib) removeFromBank(b int, row wibRow) {
+	rows := w.bankElig[b]
+	for i, r := range rows {
+		if r.rob == row.rob && r.seq == row.seq {
+			rows[i] = rows[len(rows)-1]
+			w.bankElig[b] = rows[:len(rows)-1]
+			return
+		}
+	}
+}
+
+// reinsertProgramOrder drains the global seq-ordered heap.
+func (w *wib) reinsertProgramOrder(p *Processor, maxSlots int) int {
+	used := 0
+	var blocked []wibRow
+	for used < maxSlots && len(w.elig) > 0 {
+		row := heap.Pop(&w.elig).(wibRow)
+		ins, blk := w.tryReinsertRow(p, row)
+		if ins {
+			used++
+			continue
+		}
+		if blk {
+			blocked = append(blocked, row)
+			// Queue full for this class; younger rows may target the
+			// other queue, keep scanning a little.
+			if len(blocked) > 8 {
+				break
+			}
+		}
+	}
+	for _, r := range blocked {
+		heap.Push(&w.elig, r)
+	}
+	return used
+}
+
+// reinsertChain drains the pool-of-blocks FIFO in deposit order,
+// stopping at the first live row whose queue is full (chain order is
+// strict in this organization).
+func (w *wib) reinsertChain(p *Processor, maxSlots int) int {
+	used := 0
+	for used < maxSlots && len(w.chainFIFO) > 0 {
+		row := w.chainFIFO[0]
+		ins, blocked := w.tryReinsertRow(p, row)
+		if blocked {
+			break
+		}
+		w.chainFIFO = w.chainFIFO[1:]
+		if ins {
+			used++
+		}
+	}
+	if len(w.chainFIFO) == 0 && cap(w.chainFIFO) > 1024 {
+		w.chainFIFO = nil // release the drained backing array
+	}
+	return used
+}
+
+// reinsertGroups implements the per-completed-load policies: round-robin
+// takes one instruction from each completed load in turn; oldest-load
+// drains the oldest load's chain first.
+func (w *wib) reinsertGroups(p *Processor, maxSlots int, roundRobin bool) int {
+	used := 0
+	if !roundRobin {
+		sort.SliceStable(w.groups, func(i, j int) bool { return w.groups[i].loadSeq < w.groups[j].loadSeq })
+	}
+	attempts := 0
+	for used < maxSlots && len(w.groups) > 0 && attempts < 4*maxSlots {
+		gi := 0
+		if roundRobin {
+			gi = w.rrNext % len(w.groups)
+		}
+		g := &w.groups[gi]
+		if len(g.rows) == 0 {
+			// Free deletion: empty groups must not consume attempt budget
+			// or they accumulate faster than they are reaped.
+			w.groups = append(w.groups[:gi], w.groups[gi+1:]...)
+			continue
+		}
+		attempts++
+		row := g.rows[0]
+		ins, blocked := w.tryReinsertRow(p, row)
+		if ins || !blocked {
+			g.rows = g.rows[1:]
+			if len(g.rows) == 0 {
+				w.groups = append(w.groups[:gi], w.groups[gi+1:]...)
+			}
+		}
+		if ins {
+			used++
+		}
+		if blocked && !roundRobin {
+			break // oldest-load: strict order, stall on a full queue
+		}
+		if roundRobin {
+			w.rrNext++
+		}
+	}
+	return used
+}

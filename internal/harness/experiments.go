@@ -1,0 +1,477 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"largewindow/internal/core"
+	"largewindow/internal/stats"
+	"largewindow/internal/workload"
+)
+
+// Experiment regenerates one of the paper's tables or figures.
+type Experiment struct {
+	ID    string // "fig1", "table2", ...
+	Title string
+	Run   func(*Session) ([]*stats.Table, error)
+}
+
+// Experiments returns every experiment in paper order (DESIGN.md §3).
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig1", "Figure 1: conventional window-size limit study", (*Session).Figure1},
+		{"table2", "Table 2: benchmark performance statistics", (*Session).Table2},
+		{"fig4", "Figure 4: WIB performance vs. scaled conventional designs", (*Session).Figure4},
+		{"fig5", "Figure 5: performance of limited bit-vectors", (*Session).Figure5},
+		{"fig6", "Figure 6: WIB capacity effects", (*Session).Figure6},
+		{"policy", "Section 4.4: WIB-to-issue-queue instruction selection", (*Session).PolicyStudy},
+		{"fig7", "Figure 7: non-banked multicycle WIB", (*Session).Figure7},
+		{"sens", "Section 4.1: memory latency / L2 size / L1D sensitivity", (*Session).Sensitivity},
+		{"pool", "Section 3.5 (extension): bit-vector vs. pool-of-blocks organization", (*Session).PoolStudy},
+		{"slice", "Section 6 (extension): slice execution core and register-file variants", (*Session).SliceStudy},
+	}
+}
+
+// RunExperiments runs the named experiments ("all" or nil = all) and
+// renders their tables to w.
+func RunExperiments(s *Session, ids []string, w io.Writer) error {
+	want := map[string]bool{}
+	for _, id := range ids {
+		want[id] = true
+	}
+	all := len(ids) == 0 || want["all"]
+	for _, ex := range Experiments() {
+		if !all && !want[ex.ID] {
+			continue
+		}
+		fmt.Fprintf(w, "### %s\n\n", ex.Title)
+		tables, err := ex.Run(s)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ex.ID, err)
+		}
+		for _, t := range tables {
+			t.Render(w)
+		}
+	}
+	return nil
+}
+
+// baseline returns the 32-IQ/128 results.
+func (s *Session) baseline() (map[string]*Result, error) {
+	return s.RunAll(core.DefaultConfig())
+}
+
+// suiteSpeedupRow renders a per-suite average speedup row.
+func suiteSpeedupRow(t *stats.Table, label string, av map[workload.Suite]float64) {
+	t.AddRow(label,
+		fmt.Sprintf("%.3f (%s)", av[workload.SuiteInt], stats.Pct(av[workload.SuiteInt])),
+		fmt.Sprintf("%.3f (%s)", av[workload.SuiteFP], stats.Pct(av[workload.SuiteFP])),
+		fmt.Sprintf("%.3f (%s)", av[workload.SuiteOlden], stats.Pct(av[workload.SuiteOlden])))
+}
+
+func suiteHeader() []string {
+	return []string{"configuration", "SPEC-INT speedup", "SPEC-FP speedup", "Olden speedup"}
+}
+
+// Figure1 is the limit study: conventional issue queues from 32 to 4K
+// entries (IQ ≤ 128 keep the 128-entry active list; larger configurations
+// scale the active list, registers, and LSQ with the queue, §2.2.2).
+func (s *Session) Figure1() ([]*stats.Table, error) {
+	base, err := s.baseline()
+	if err != nil {
+		return nil, err
+	}
+	configs := []core.Config{
+		core.ScaledConfig(64, 128),
+		core.ScaledConfig(128, 128),
+		core.ScaledConfig(256, 256),
+		core.ScaledConfig(512, 512),
+		core.ScaledConfig(1024, 1024),
+		core.ScaledConfig(2048, 2048),
+		core.ScaledConfig(4096, 4096),
+	}
+	var tables []*stats.Table
+	for _, suite := range suites {
+		t := &stats.Table{
+			Title:   fmt.Sprintf("Figure 1 (%s): speedup over 32-IQ/128 by window size", suite),
+			Headers: append([]string{"benchmark"}, "64", "128", "256", "512", "1K", "2K", "4K"),
+		}
+		rows := map[string][]string{}
+		var order []string
+		for _, sp := range s.benchmarks() {
+			if sp.Suite == suite {
+				rows[sp.Name] = []string{sp.Name}
+				order = append(order, sp.Name)
+			}
+		}
+		perCfgAvg := make([]float64, len(configs))
+		for ci, cfg := range configs {
+			res, err := s.RunAll(cfg)
+			if err != nil {
+				return nil, err
+			}
+			var sp []float64
+			for _, name := range order {
+				v := stats.Speedup(res[name].IPC, base[name].IPC)
+				rows[name] = append(rows[name], fmt.Sprintf("%.2f", v))
+				sp = append(sp, v)
+			}
+			perCfgAvg[ci] = stats.ArithMean(sp)
+		}
+		for _, name := range order {
+			t.Rows = append(t.Rows, rows[name])
+		}
+		avg := []string{"Average"}
+		for _, v := range perCfgAvg {
+			avg = append(avg, fmt.Sprintf("%.2f", v))
+		}
+		t.Rows = append(t.Rows, avg)
+		t.AddNote("paper shape: IPC rises with window size and plateaus near 2K entries")
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Table2 reports the base machine's per-benchmark statistics plus the
+// WIB machine's IPC, with harmonic means per suite.
+func (s *Session) Table2() ([]*stats.Table, error) {
+	base, err := s.baseline()
+	if err != nil {
+		return nil, err
+	}
+	wib, err := s.RunAll(core.WIBDefault())
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:   "Table 2: benchmark performance statistics",
+		Headers: []string{"benchmark", "base IPC", "branch dir pred", "DL1 miss ratio", "UL2 local miss", "WIB IPC"},
+	}
+	for _, suite := range suites {
+		var baseIPCs, wibIPCs []float64
+		for _, sp := range s.benchmarks() {
+			if sp.Suite != suite {
+				continue
+			}
+			b, w := base[sp.Name], wib[sp.Name]
+			t.AddRow(sp.Name, b.IPC, b.BrAcc, b.DL1Miss, b.L2Local, w.IPC)
+			baseIPCs = append(baseIPCs, b.IPC)
+			wibIPCs = append(wibIPCs, w.IPC)
+		}
+		t.AddRow(fmt.Sprintf("HM (%s)", suite), stats.HarmonicMean(baseIPCs), "", "", "", stats.HarmonicMean(wibIPCs))
+	}
+	t.AddNote("paper harmonic means: base 1.00/1.42/1.17, WIB 1.24/3.02/1.61 (INT/FP/Olden)")
+	return []*stats.Table{t}, nil
+}
+
+// Figure4 compares the WIB machine against the base and the two scaled
+// conventional machines (32-IQ/2K and 2K-IQ/2K).
+func (s *Session) Figure4() ([]*stats.Table, error) {
+	base, err := s.baseline()
+	if err != nil {
+		return nil, err
+	}
+	configs := []core.Config{
+		core.ScaledConfig(32, 2048),
+		core.ScaledConfig(2048, 2048),
+		core.WIBDefault(),
+	}
+	results := make([]map[string]*Result, len(configs))
+	for i, cfg := range configs {
+		r, err := s.RunAll(cfg)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
+	}
+	var tables []*stats.Table
+	for _, suite := range suites {
+		t := &stats.Table{
+			Title:   fmt.Sprintf("Figure 4 (%s): speedup over 32-IQ/128", suite),
+			Headers: []string{"benchmark", "32-IQ/2K", "2K-IQ/2K", "WIB"},
+		}
+		per := make([][]float64, len(configs))
+		for _, sp := range s.benchmarks() {
+			if sp.Suite != suite {
+				continue
+			}
+			row := []interface{}{sp.Name}
+			for i := range configs {
+				v := stats.Speedup(results[i][sp.Name].IPC, base[sp.Name].IPC)
+				row = append(row, fmt.Sprintf("%.2f", v))
+				per[i] = append(per[i], v)
+			}
+			t.AddRow(row...)
+		}
+		avg := []interface{}{"Average"}
+		for i := range configs {
+			avg = append(avg, fmt.Sprintf("%.2f (%s)", stats.ArithMean(per[i]), stats.Pct(stats.ArithMean(per[i]))))
+		}
+		t.AddRow(avg...)
+		tables = append(tables, t)
+	}
+	tables[len(tables)-1].AddNote("paper averages: WIB +20%%/+84%%/+50%%; 2K-IQ/2K +35%%/+140%%/+103%% (INT/FP/Olden)")
+	return tables, nil
+}
+
+// Figure5 limits the number of bit-vectors (outstanding load misses).
+func (s *Session) Figure5() ([]*stats.Table, error) {
+	base, err := s.baseline()
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:   "Figure 5: limited bit-vectors (2K WIB), suite-average speedup over 32-IQ/128",
+		Headers: suiteHeader(),
+	}
+	for _, bv := range []int{16, 32, 64, 1024} {
+		cfg := core.WIBConfigSized(2048, bv)
+		res, err := s.RunAll(cfg)
+		if err != nil {
+			return nil, err
+		}
+		suiteSpeedupRow(t, fmt.Sprintf("%d bit-vectors", bv), s.suiteAverages(res, base))
+	}
+	t.AddNote("paper: 16 vectors still give +16%%/+26%%/+38%%; 64 give +19%%/+45%%/+50%%")
+	return []*stats.Table{t}, nil
+}
+
+// Figure6 shrinks the WIB capacity (with the active list, registers, and
+// LSQ scaling along), with bit-vectors fixed at 64.
+func (s *Session) Figure6() ([]*stats.Table, error) {
+	base, err := s.baseline()
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:   "Figure 6: WIB capacity effects (64 bit-vectors), suite-average speedup over 32-IQ/128",
+		Headers: suiteHeader(),
+	}
+	for _, n := range []int{128, 256, 512, 1024, 2048} {
+		cfg := core.WIBConfigSized(n, 64)
+		res, err := s.RunAll(cfg)
+		if err != nil {
+			return nil, err
+		}
+		suiteSpeedupRow(t, fmt.Sprintf("%d-entry WIB", n), s.suiteAverages(res, base))
+	}
+	t.AddNote("paper: 256-entry WIB keeps +9%%/+26%%/+14%%; monotone in capacity")
+	return []*stats.Table{t}, nil
+}
+
+// PolicyStudy compares reinsertion selection policies on an idealized
+// single-cycle WIB (§4.4) and reports WIB insertion counts.
+func (s *Session) PolicyStudy() ([]*stats.Table, error) {
+	base, err := s.baseline()
+	if err != nil {
+		return nil, err
+	}
+	mk := func(policy core.WIBPolicy, name string) core.Config {
+		cfg := core.WIBConfigSized(2048, 0)
+		cfg.WIB.Banked = false
+		cfg.WIB.Policy = policy
+		cfg.Name = name
+		return cfg
+	}
+	configs := []core.Config{
+		core.WIBDefault(), // (1) banked
+		mk(core.PolicyProgramOrder, "WIB-ideal/program-order"),
+		mk(core.PolicyRoundRobinLoad, "WIB-ideal/rr-load"),
+		mk(core.PolicyOldestLoad, "WIB-ideal/oldest-load"),
+	}
+	t := &stats.Table{
+		Title:   "Section 4.4: selection policies, suite-average speedup over 32-IQ/128",
+		Headers: suiteHeader(),
+	}
+	ins := &stats.Table{
+		Title:   "Section 4.4: WIB insertion counts per WIB-using instruction",
+		Headers: []string{"configuration", "avg insertions", "max insertions"},
+	}
+	for _, cfg := range configs {
+		res, err := s.RunAll(cfg)
+		if err != nil {
+			return nil, err
+		}
+		suiteSpeedupRow(t, cfg.Name, s.suiteAverages(res, base))
+		var avg float64
+		var n int
+		maxIns := 0
+		for _, r := range res {
+			if r.Stats.WIBInstructions > 0 {
+				avg += r.Stats.AvgWIBInsertions()
+				n++
+			}
+			if r.Stats.WIBMaxInsertions > maxIns {
+				maxIns = r.Stats.WIBMaxInsertions
+			}
+		}
+		if n > 0 {
+			avg /= float64(n)
+		}
+		ins.AddRow(cfg.Name, avg, maxIns)
+	}
+	ins.AddNote("paper (mgrid): banked averages 4 insertions (max 280); other policies reduce it to ~1 (max 9)")
+	return []*stats.Table{t, ins}, nil
+}
+
+// Figure7 compares the banked WIB against non-banked organizations with
+// 4- and 6-cycle access.
+func (s *Session) Figure7() ([]*stats.Table, error) {
+	base, err := s.baseline()
+	if err != nil {
+		return nil, err
+	}
+	mk := func(lat int64) core.Config {
+		cfg := core.WIBConfigSized(2048, 0)
+		cfg.WIB.Banked = false
+		cfg.WIB.AccessLatency = lat
+		cfg.Name = fmt.Sprintf("WIB-nonbanked/%dcyc", lat)
+		return cfg
+	}
+	t := &stats.Table{
+		Title:   "Figure 7: banked vs. non-banked WIB, suite-average speedup over 32-IQ/128",
+		Headers: suiteHeader(),
+	}
+	for _, cfg := range []core.Config{core.WIBDefault(), mk(4), mk(6)} {
+		res, err := s.RunAll(cfg)
+		if err != nil {
+			return nil, err
+		}
+		suiteSpeedupRow(t, cfg.Name, s.suiteAverages(res, base))
+	}
+	t.AddNote("paper: multicycle non-banked access costs only slightly vs. banked")
+	return []*stats.Table{t}, nil
+}
+
+// PoolStudy is an extension experiment: the paper describes (and rejects)
+// a pool-of-blocks WIB organization in §3.5 but does not evaluate it. We
+// do: deposit-order chains with a shared block pool, swept over pool
+// sizes, against the paper's bit-vector design.
+func (s *Session) PoolStudy() ([]*stats.Table, error) {
+	base, err := s.baseline()
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:   "Section 3.5 extension: WIB organizations, suite-average speedup over 32-IQ/128",
+		Headers: suiteHeader(),
+	}
+	spills := &stats.Table{
+		Title:   "Section 3.5 extension: pool-of-blocks overflow spills",
+		Headers: []string{"configuration", "total pool spills (all benchmarks)"},
+	}
+	configs := []core.Config{
+		core.WIBDefault(), // bit-vector reference
+		core.WIBPoolOfBlocks(2048, 64, 32),
+		core.WIBPoolOfBlocks(2048, 16, 32),
+		core.WIBPoolOfBlocks(2048, 4, 32),
+	}
+	for _, cfg := range configs {
+		res, err := s.RunAll(cfg)
+		if err != nil {
+			return nil, err
+		}
+		suiteSpeedupRow(t, cfg.Name, s.suiteAverages(res, base))
+		var sp uint64
+		for _, r := range res {
+			sp += r.Stats.PoolSpills
+		}
+		spills.AddRow(cfg.Name, sp)
+	}
+	t.AddNote("the paper rejected this organization for its squash complexity and deadlock risk (§3.5)")
+	return []*stats.Table{t, spills}, nil
+}
+
+// SliceStudy measures the paper's §6 future-work directions: executing
+// WIB instructions on a separate (slice) core, register-file prefetching
+// at reinsertion, and the multi-banked register-file alternative.
+func (s *Session) SliceStudy() ([]*stats.Table, error) {
+	base, err := s.baseline()
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:   "Section 6 extension: future-work variants, suite-average speedup over 32-IQ/128",
+		Headers: suiteHeader(),
+	}
+	prefetch := core.WIBDefault()
+	prefetch.RFPrefetchOnReinsert = true
+	prefetch.Name = "WIB+rf-prefetch"
+	configs := []core.Config{
+		core.WIBDefault(),
+		core.WIBWithSliceCore(2048, 2),
+		core.WIBWithSliceCore(2048, 4),
+		prefetch,
+		core.WIBMultiBankedRF(2048, 8, 2),
+	}
+	var sliceTotal uint64
+	for _, cfg := range configs {
+		res, err := s.RunAll(cfg)
+		if err != nil {
+			return nil, err
+		}
+		suiteSpeedupRow(t, cfg.Name, s.suiteAverages(res, base))
+		for _, r := range res {
+			sliceTotal += r.Stats.SliceExecuted
+		}
+	}
+	t.AddNote("slice cores executed %d instructions across all runs; the paper left this design to future work", sliceTotal)
+	return []*stats.Table{t}, nil
+}
+
+// Sensitivity reproduces the §4.1 text experiments: 100-cycle memory,
+// a 1MB L2, and spending the WIB area on a 64KB L1-D instead.
+func (s *Session) Sensitivity() ([]*stats.Table, error) {
+	t := &stats.Table{
+		Title:   "Section 4.1 sensitivity: WIB speedup under memory-system variations",
+		Headers: suiteHeader(),
+	}
+	variant := func(label string, mod func(*core.Config)) error {
+		baseCfg := core.DefaultConfig()
+		mod(&baseCfg)
+		baseCfg.Name = "32-IQ/128/" + label
+		wibCfg := core.WIBDefault()
+		mod(&wibCfg)
+		wibCfg.Name = "WIB/" + label
+		base, err := s.RunAll(baseCfg)
+		if err != nil {
+			return err
+		}
+		wib, err := s.RunAll(wibCfg)
+		if err != nil {
+			return err
+		}
+		suiteSpeedupRow(t, label, s.suiteAverages(wib, base))
+		return nil
+	}
+	if err := variant("default (250-cycle mem)", func(c *core.Config) {}); err != nil {
+		return nil, err
+	}
+	if err := variant("100-cycle memory", func(c *core.Config) { c.Mem.MemLatency = 100 }); err != nil {
+		return nil, err
+	}
+	if err := variant("1MB L2", func(c *core.Config) { c.Mem.L2.SizeBytes = 1 << 20 }); err != nil {
+		return nil, err
+	}
+	t.AddNote("paper: 100-cycle memory shrinks WIB gains to +5%%/+30%%/+17%%; 1MB L2 to +5%%/+61%%/+38%%")
+
+	// Alternative area use: 64KB L1-D on the conventional machine.
+	alt := &stats.Table{
+		Title:   "Section 4.1: doubling the L1 data cache instead (speedup over 32KB base)",
+		Headers: suiteHeader(),
+	}
+	base, err := s.baseline()
+	if err != nil {
+		return nil, err
+	}
+	big := core.DefaultConfig()
+	big.Mem.L1D.SizeBytes = 64 << 10
+	big.Name = "32-IQ/128/64KB-L1D"
+	bigRes, err := s.RunAll(big)
+	if err != nil {
+		return nil, err
+	}
+	suiteSpeedupRow(alt, "64KB L1-D", s.suiteAverages(bigRes, base))
+	alt.AddNote("paper: <2%% improvement for all benchmarks except vortex (+9%%) — the WIB is the better use of area")
+	return []*stats.Table{t, alt}, nil
+}

@@ -1,0 +1,209 @@
+// Package harness runs the paper's evaluation: it executes (benchmark ×
+// configuration) simulations, memoizes results within a session, and
+// regenerates every table and figure of the paper (DESIGN.md §3 maps each
+// experiment to the module that implements it).
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"largewindow/internal/core"
+	"largewindow/internal/stats"
+	"largewindow/internal/workload"
+)
+
+// Options controls a harness session.
+type Options struct {
+	// MaxInstr is the committed-instruction budget per run (the paper
+	// simulates fixed 100M-instruction windows; we default to 300K on
+	// scaled data sets — see EXPERIMENTS.md).
+	MaxInstr uint64
+	// MaxCycles bounds runaway runs.
+	MaxCycles int64
+	// Scale selects kernel working-set sizing.
+	Scale workload.Scale
+	// Benchmarks restricts the kernel set (nil = all).
+	Benchmarks []string
+	// Parallel is the number of concurrent simulations (0 = GOMAXPROCS).
+	Parallel int
+	// Log receives progress lines (nil = quiet).
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInstr == 0 {
+		o.MaxInstr = 300_000
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 100_000_000
+	}
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Bench   string
+	Suite   workload.Suite
+	Config  string
+	IPC     float64
+	Stats   core.Stats
+	DL1Miss float64 // data-cache miss ratio (loads+stores)
+	L2Local float64 // unified L2 local miss ratio
+	BrAcc   float64 // conditional-branch direction accuracy
+}
+
+// Session runs and memoizes simulations.
+type Session struct {
+	opt  Options
+	mu   sync.Mutex
+	memo map[string]*Result
+	sem  chan struct{}
+}
+
+// NewSession creates a harness session.
+func NewSession(opt Options) *Session {
+	opt = opt.withDefaults()
+	return &Session{
+		opt:  opt,
+		memo: make(map[string]*Result),
+		sem:  make(chan struct{}, opt.Parallel),
+	}
+}
+
+// benchmarks returns the selected kernel specs in table order.
+func (s *Session) benchmarks() []workload.Spec {
+	all := workload.All()
+	if len(s.opt.Benchmarks) == 0 {
+		return all
+	}
+	want := map[string]bool{}
+	for _, n := range s.opt.Benchmarks {
+		want[n] = true
+	}
+	var out []workload.Spec
+	for _, sp := range all {
+		if want[sp.Name] {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Run simulates one benchmark under one configuration (memoized).
+func (s *Session) Run(cfg core.Config, spec workload.Spec) (*Result, error) {
+	key := cfg.Name + "\x00" + spec.Name
+	s.mu.Lock()
+	if r, ok := s.memo[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	// Re-check after acquiring the slot (another goroutine may have run it).
+	s.mu.Lock()
+	if r, ok := s.memo[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+
+	prog := spec.Build(s.opt.Scale)
+	p, err := core.New(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	st, err := p.Run(s.opt.MaxInstr, s.opt.MaxCycles)
+	if err != nil && !errors.Is(err, core.ErrBudget) {
+		return nil, fmt.Errorf("%s on %s: %w", spec.Name, cfg.Name, err)
+	}
+	h := p.Hierarchy()
+	r := &Result{
+		Bench:   spec.Name,
+		Suite:   spec.Suite,
+		Config:  cfg.Name,
+		IPC:     st.IPC,
+		Stats:   *st,
+		DL1Miss: h.L1DStats().MissRatio(),
+		L2Local: h.L2Stats().MissRatio(),
+		BrAcc:   st.CondAccuracy(),
+	}
+	s.mu.Lock()
+	s.memo[key] = r
+	s.mu.Unlock()
+	if s.opt.Log != nil {
+		fmt.Fprintf(s.opt.Log, "  ran %-10s on %-16s IPC=%.3f cycles=%d dl1=%.3f l2=%.3f\n",
+			spec.Name, cfg.Name, r.IPC, st.Cycles, r.DL1Miss, r.L2Local)
+	}
+	return r, nil
+}
+
+// RunAll simulates every selected benchmark under cfg, concurrently, and
+// returns results keyed by benchmark name.
+func (s *Session) RunAll(cfg core.Config) (map[string]*Result, error) {
+	specs := s.benchmarks()
+	out := make(map[string]*Result, len(specs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var firstErr error
+	for _, spec := range specs {
+		spec := spec
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := s.Run(cfg, spec)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+				return
+			}
+			if err == nil {
+				out[spec.Name] = r
+			}
+		}()
+	}
+	wg.Wait()
+	return out, firstErr
+}
+
+// suiteAverages computes the per-suite arithmetic-mean speedup of `news`
+// over `olds` (the paper's suite averages).
+func (s *Session) suiteAverages(news, olds map[string]*Result) map[workload.Suite]float64 {
+	per := map[workload.Suite][]float64{}
+	for name, n := range news {
+		o, ok := olds[name]
+		if !ok {
+			continue
+		}
+		per[n.Suite] = append(per[n.Suite], stats.Speedup(n.IPC, o.IPC))
+	}
+	out := map[workload.Suite]float64{}
+	for suite, xs := range per {
+		out[suite] = stats.ArithMean(xs)
+	}
+	return out
+}
+
+// orderedBenchNames returns the benchmark names present in m, table order.
+func (s *Session) orderedBenchNames(m map[string]*Result) []string {
+	var names []string
+	for _, sp := range s.benchmarks() {
+		if _, ok := m[sp.Name]; ok {
+			names = append(names, sp.Name)
+		}
+	}
+	sort.SliceStable(names, func(i, j int) bool { return false }) // already ordered
+	return names
+}
+
+var suites = []workload.Suite{workload.SuiteInt, workload.SuiteFP, workload.SuiteOlden}

@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"largewindow/internal/core"
+	"largewindow/internal/workload"
+)
+
+func testSession(benches ...string) *Session {
+	return NewSession(Options{
+		MaxInstr:   5_000,
+		Scale:      workload.ScaleTest,
+		Benchmarks: benches,
+	})
+}
+
+func TestRunProducesResult(t *testing.T) {
+	s := testSession("treeadd")
+	spec, _ := workload.Get("treeadd")
+	r, err := s.Run(core.DefaultConfig(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC <= 0 {
+		t.Errorf("IPC = %v", r.IPC)
+	}
+	if r.Bench != "treeadd" || r.Config != "32-IQ/128" {
+		t.Errorf("labels = %q %q", r.Bench, r.Config)
+	}
+}
+
+func TestRunMemoizes(t *testing.T) {
+	s := testSession("treeadd")
+	spec, _ := workload.Get("treeadd")
+	r1, err := s.Run(core.DefaultConfig(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run(core.DefaultConfig(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("identical runs not memoized")
+	}
+}
+
+func TestRunAllFilters(t *testing.T) {
+	s := testSession("art", "treeadd")
+	res, err := s.RunAll(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+	if _, ok := res["art"]; !ok {
+		t.Error("art missing")
+	}
+}
+
+func TestSuiteAverages(t *testing.T) {
+	s := testSession()
+	news := map[string]*Result{
+		"a": {Bench: "a", Suite: workload.SuiteInt, IPC: 2},
+		"b": {Bench: "b", Suite: workload.SuiteInt, IPC: 3},
+		"c": {Bench: "c", Suite: workload.SuiteFP, IPC: 4},
+	}
+	olds := map[string]*Result{
+		"a": {Bench: "a", Suite: workload.SuiteInt, IPC: 1},
+		"b": {Bench: "b", Suite: workload.SuiteInt, IPC: 1},
+		"c": {Bench: "c", Suite: workload.SuiteFP, IPC: 2},
+	}
+	av := s.suiteAverages(news, olds)
+	if av[workload.SuiteInt] != 2.5 {
+		t.Errorf("int average = %v", av[workload.SuiteInt])
+	}
+	if av[workload.SuiteFP] != 2 {
+		t.Errorf("fp average = %v", av[workload.SuiteFP])
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, ex := range Experiments() {
+		if ex.ID == "" || ex.Title == "" || ex.Run == nil {
+			t.Errorf("malformed experiment %+v", ex)
+		}
+		if ids[ex.ID] {
+			t.Errorf("duplicate id %s", ex.ID)
+		}
+		ids[ex.ID] = true
+	}
+	for _, want := range []string{"fig1", "table2", "fig4", "fig5", "fig6", "policy", "fig7", "sens"} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing", want)
+		}
+	}
+}
+
+// TestExperimentsSmoke runs every experiment end-to-end on two tiny
+// kernels with a small budget: tables must render with content.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := testSession("gzip", "art", "treeadd")
+	var sb strings.Builder
+	if err := RunExperiments(s, nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Figure 1", "Table 2", "Figure 4", "Figure 5", "Figure 6",
+		"selection policies", "Figure 7", "sensitivity",
+		"gzip", "art", "treeadd",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("experiment output missing %q", want)
+		}
+	}
+}
+
+func TestRunExperimentsUnknownIDIgnored(t *testing.T) {
+	s := testSession("treeadd")
+	var sb strings.Builder
+	if err := RunExperiments(s, []string{"nope"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Error("unknown id produced output")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxInstr == 0 || o.MaxCycles == 0 || o.Parallel <= 0 {
+		t.Errorf("defaults not applied: %+v", o)
+	}
+}

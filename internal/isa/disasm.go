@@ -1,0 +1,75 @@
+package isa
+
+import "fmt"
+
+var opNames = [numOps]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpRem: "rem", OpAnd: "and", OpOr: "or", OpXor: "xor", OpSll: "sll",
+	OpSrl: "srl", OpSra: "sra", OpSlt: "slt", OpSltu: "sltu",
+	OpAddi: "addi", OpAndi: "andi", OpOri: "ori", OpXori: "xori",
+	OpSlli: "slli", OpSrli: "srli", OpSrai: "srai", OpSlti: "slti",
+	OpLi: "li", OpLih: "lih",
+	OpLd: "ld", OpSt: "st", OpFld: "fld", OpFst: "fst",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpJ: "j", OpJal: "jal", OpJr: "jr",
+	OpFadd: "fadd", OpFsub: "fsub", OpFmul: "fmul", OpFdiv: "fdiv",
+	OpFsqrt: "fsqrt", OpFneg: "fneg", OpFabs: "fabs", OpFmov: "fmov",
+	OpFcvt: "fcvt", OpFcvti: "fcvti", OpFlt: "flt", OpFle: "fle", OpFeq: "feq",
+	OpHalt: "halt",
+}
+
+// Name returns the opcode mnemonic.
+func (op Op) Name() string {
+	if int(op) >= NumOps {
+		return fmt.Sprintf("op%d", op)
+	}
+	return opNames[op]
+}
+
+func (op Op) String() string { return op.Name() }
+
+func regName(r RegRef) string {
+	if r.FP {
+		return fmt.Sprintf("f%d", r.N)
+	}
+	return fmt.Sprintf("r%d", r.N)
+}
+
+// Disassemble renders an instruction in a conventional assembly syntax.
+// Branch and jump offsets are shown as relative offsets (".%+d").
+func Disassemble(in Instr) string {
+	name := in.Op.Name()
+	d, s1, s2 := in.Dest(), in.Src1(), in.Src2()
+	switch in.Op.Class() {
+	case ClassNop, ClassHalt:
+		return name
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", name, regName(d), in.Imm, regName(s1))
+	case ClassStore:
+		return fmt.Sprintf("%s %s, %d(%s)", name, regName(s2), in.Imm, regName(s1))
+	case ClassBranch:
+		return fmt.Sprintf("%s %s, %s, .%+d", name, regName(s1), regName(s2), in.Imm)
+	case ClassJump:
+		switch in.Op {
+		case OpJr:
+			return fmt.Sprintf("jr %s", regName(s1))
+		case OpJal:
+			return fmt.Sprintf("jal %s, .%+d", regName(d), in.Imm)
+		default:
+			return fmt.Sprintf("j .%+d", in.Imm)
+		}
+	}
+	switch in.Op {
+	case OpLi:
+		return fmt.Sprintf("li %s, %d", regName(d), in.Imm)
+	case OpLih:
+		return fmt.Sprintf("lih %s, %s, %d", regName(d), regName(s1), in.Imm)
+	case OpFsqrt, OpFneg, OpFabs, OpFmov, OpFcvt, OpFcvti:
+		return fmt.Sprintf("%s %s, %s", name, regName(d), regName(s1))
+	}
+	if !s2.Valid {
+		// Register-immediate forms.
+		return fmt.Sprintf("%s %s, %s, %d", name, regName(d), regName(s1), in.Imm)
+	}
+	return fmt.Sprintf("%s %s, %s, %s", name, regName(d), regName(s1), regName(s2))
+}

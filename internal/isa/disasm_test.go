@@ -1,0 +1,58 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassemble(t *testing.T) {
+	tests := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpNop}, "nop"},
+		{Instr{Op: OpHalt}, "halt"},
+		{Instr{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Instr{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -4}, "addi r1, r2, -4"},
+		{Instr{Op: OpLi, Rd: 9, Imm: 7}, "li r9, 7"},
+		{Instr{Op: OpLd, Rd: 1, Rs1: 2, Imm: 16}, "ld r1, 16(r2)"},
+		{Instr{Op: OpSt, Rs1: 2, Rs2: 5, Imm: -8}, "st r5, -8(r2)"},
+		{Instr{Op: OpFld, Rd: 3, Rs1: 2, Imm: 0}, "fld f3, 0(r2)"},
+		{Instr{Op: OpFst, Rs1: 2, Rs2: 4, Imm: 8}, "fst f4, 8(r2)"},
+		{Instr{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: 3}, "beq r1, r2, .+3"},
+		{Instr{Op: OpBlt, Rs1: 1, Rs2: 2, Imm: -2}, "blt r1, r2, .-2"},
+		{Instr{Op: OpJ, Imm: 10}, "j .+10"},
+		{Instr{Op: OpJal, Rd: 1, Imm: 5}, "jal r1, .+5"},
+		{Instr{Op: OpJr, Rs1: 1}, "jr r1"},
+		{Instr{Op: OpFadd, Rd: 1, Rs1: 2, Rs2: 3}, "fadd f1, f2, f3"},
+		{Instr{Op: OpFsqrt, Rd: 1, Rs1: 2}, "fsqrt f1, f2"},
+		{Instr{Op: OpFcvt, Rd: 1, Rs1: 2}, "fcvt f1, r2"},
+		{Instr{Op: OpFcvti, Rd: 1, Rs1: 2}, "fcvti r1, f2"},
+		{Instr{Op: OpFlt, Rd: 1, Rs1: 2, Rs2: 3}, "flt r1, f2, f3"},
+		{Instr{Op: OpLih, Rd: 1, Rs1: 1, Imm: 5}, "lih r1, r1, 5"},
+	}
+	for _, tc := range tests {
+		if got := Disassemble(tc.in); got != tc.want {
+			t.Errorf("Disassemble(%+v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDisassembleEveryOpcode(t *testing.T) {
+	// Every opcode must render something non-empty without panicking.
+	for op := Op(0); int(op) < NumOps; op++ {
+		s := Disassemble(Instr{Op: op, Rd: 1, Rs1: 2, Rs2: 3, Imm: 4})
+		if s == "" {
+			t.Errorf("opcode %d renders empty", op)
+		}
+		if !strings.HasPrefix(s, op.Name()) {
+			t.Errorf("opcode %v renders %q (missing mnemonic)", op, s)
+		}
+	}
+}
+
+func TestOpNameOutOfRange(t *testing.T) {
+	if got := Op(99).Name(); got != "op99" {
+		t.Errorf("out-of-range name = %q", got)
+	}
+}

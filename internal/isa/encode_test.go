@@ -1,0 +1,81 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomInstr produces an arbitrary valid instruction.
+func randomInstr(r *rand.Rand) Instr {
+	return Instr{
+		Op:  Op(r.Intn(NumOps)),
+		Rd:  Reg(r.Intn(NumRegs)),
+		Rs1: Reg(r.Intn(NumRegs)),
+		Rs2: Reg(r.Intn(NumRegs)),
+		Imm: int32(r.Uint32()),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 2000,
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(randomInstr(r))
+		},
+	}
+	f := func(in Instr) bool {
+		got, err := Decode(Encode(in))
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	in := Instr{Op: OpAddi, Rd: 5, Rs1: 6, Imm: -1}
+	w := Encode(in)
+	// opcode in the top byte, imm in the bottom 32 bits.
+	if Op(w>>56) != OpAddi {
+		t.Errorf("opcode field = %d", w>>56)
+	}
+	if int32(uint32(w)) != -1 {
+		t.Errorf("imm field = %d", int32(uint32(w)))
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(uint64(255) << 56); err == nil {
+		t.Error("bad opcode accepted")
+	}
+	if _, err := Decode(uint64(OpAdd)<<56 | uint64(200)<<48); err == nil {
+		t.Error("bad register accepted")
+	}
+}
+
+func TestEncodeDecodeProgram(t *testing.T) {
+	code := []Instr{
+		{Op: OpLi, Rd: 1, Imm: 42},
+		{Op: OpAdd, Rd: 2, Rs1: 1, Rs2: 1},
+		{Op: OpHalt},
+	}
+	words := EncodeProgram(code)
+	back, err := DecodeProgram(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(code) {
+		t.Fatalf("len = %d, want %d", len(back), len(code))
+	}
+	for i := range code {
+		if back[i] != code[i] {
+			t.Errorf("instr %d: %v != %v", i, back[i], code[i])
+		}
+	}
+	words[1] = ^uint64(0)
+	if _, err := DecodeProgram(words); err == nil {
+		t.Error("corrupt program accepted")
+	}
+}

@@ -1,0 +1,149 @@
+package isa
+
+import "math"
+
+// Eval computes the result of a non-memory, non-control instruction given
+// its source operand values. Floating-point values travel as IEEE-754
+// binary64 bit patterns inside uint64s. Eval is the single source of truth
+// for ALU/FP semantics: both the functional emulator and the timing
+// pipeline call it, so they cannot disagree.
+//
+// pc is needed only by Jal (link value); memory and branch-direction
+// semantics live in EffAddr and BranchTaken.
+func Eval(in Instr, rs1, rs2, pc uint64) uint64 {
+	imm := uint64(int64(in.Imm)) // sign-extended
+	switch in.Op {
+	case OpAdd:
+		return rs1 + rs2
+	case OpSub:
+		return rs1 - rs2
+	case OpMul:
+		return uint64(int64(rs1) * int64(rs2))
+	case OpDiv:
+		if rs2 == 0 {
+			return 0
+		}
+		if int64(rs1) == math.MinInt64 && int64(rs2) == -1 {
+			return rs1 // overflow wraps, as on real hardware
+		}
+		return uint64(int64(rs1) / int64(rs2))
+	case OpRem:
+		if rs2 == 0 {
+			return rs1
+		}
+		if int64(rs1) == math.MinInt64 && int64(rs2) == -1 {
+			return 0
+		}
+		return uint64(int64(rs1) % int64(rs2))
+	case OpAnd:
+		return rs1 & rs2
+	case OpOr:
+		return rs1 | rs2
+	case OpXor:
+		return rs1 ^ rs2
+	case OpSll:
+		return rs1 << (rs2 & 63)
+	case OpSrl:
+		return rs1 >> (rs2 & 63)
+	case OpSra:
+		return uint64(int64(rs1) >> (rs2 & 63))
+	case OpSlt:
+		return b2u(int64(rs1) < int64(rs2))
+	case OpSltu:
+		return b2u(rs1 < rs2)
+	case OpAddi:
+		return rs1 + imm
+	case OpAndi:
+		return rs1 & imm
+	case OpOri:
+		return rs1 | imm
+	case OpXori:
+		return rs1 ^ imm
+	case OpSlli:
+		return rs1 << (imm & 63)
+	case OpSrli:
+		return rs1 >> (imm & 63)
+	case OpSrai:
+		return uint64(int64(rs1) >> (imm & 63))
+	case OpSlti:
+		return b2u(int64(rs1) < int64(imm))
+	case OpLi:
+		return imm
+	case OpLih:
+		return rs1 | uint64(uint32(in.Imm))<<32
+	case OpJal:
+		return pc + 1
+	case OpFadd:
+		return f2u(u2f(rs1) + u2f(rs2))
+	case OpFsub:
+		return f2u(u2f(rs1) - u2f(rs2))
+	case OpFmul:
+		return f2u(u2f(rs1) * u2f(rs2))
+	case OpFdiv:
+		return f2u(u2f(rs1) / u2f(rs2))
+	case OpFsqrt:
+		return f2u(math.Sqrt(u2f(rs1)))
+	case OpFneg:
+		return f2u(-u2f(rs1))
+	case OpFabs:
+		return f2u(math.Abs(u2f(rs1)))
+	case OpFmov:
+		return rs1
+	case OpFcvt:
+		return f2u(float64(int64(rs1)))
+	case OpFcvti:
+		f := u2f(rs1)
+		if math.IsNaN(f) || f >= math.MaxInt64 || f <= math.MinInt64 {
+			return 0
+		}
+		return uint64(int64(f))
+	case OpFlt:
+		return b2u(u2f(rs1) < u2f(rs2))
+	case OpFle:
+		return b2u(u2f(rs1) <= u2f(rs2))
+	case OpFeq:
+		return b2u(u2f(rs1) == u2f(rs2))
+	default:
+		return 0
+	}
+}
+
+// BranchTaken reports whether a conditional branch with the given operand
+// values is taken. Unconditional jumps are always taken and must not be
+// passed here.
+func BranchTaken(in Instr, rs1, rs2 uint64) bool {
+	switch in.Op {
+	case OpBeq:
+		return rs1 == rs2
+	case OpBne:
+		return rs1 != rs2
+	case OpBlt:
+		return int64(rs1) < int64(rs2)
+	case OpBge:
+		return int64(rs1) >= int64(rs2)
+	default:
+		return false
+	}
+}
+
+// EffAddr computes the effective byte address of a load or store given the
+// base register value.
+func EffAddr(in Instr, rs1 uint64) uint64 {
+	return rs1 + uint64(int64(in.Imm))
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func u2f(u uint64) float64 { return math.Float64frombits(u) }
+func f2u(f float64) uint64 { return math.Float64bits(f) }
+
+// F2U converts a float64 to its register bit pattern.
+func F2U(f float64) uint64 { return f2u(f) }
+
+// U2F converts a register bit pattern to float64.
+func U2F(u uint64) float64 { return u2f(u) }

@@ -1,0 +1,152 @@
+package isa
+
+import (
+	"math"
+	"testing"
+)
+
+func i2u(v int64) uint64 { return uint64(v) }
+
+func TestEvalIntArith(t *testing.T) {
+	tests := []struct {
+		name     string
+		in       Instr
+		rs1, rs2 uint64
+		want     uint64
+	}{
+		{"add", Instr{Op: OpAdd}, 3, 4, 7},
+		{"add-wrap", Instr{Op: OpAdd}, math.MaxUint64, 1, 0},
+		{"sub", Instr{Op: OpSub}, 3, 4, uint64(0xffffffffffffffff)},
+		{"mul", Instr{Op: OpMul}, 7, 6, 42},
+		{"mul-neg", Instr{Op: OpMul}, i2u(-3), 5, i2u(-15)},
+		{"div", Instr{Op: OpDiv}, i2u(-7), 2, i2u(-3)},
+		{"div-zero", Instr{Op: OpDiv}, 5, 0, 0},
+		{"div-overflow", Instr{Op: OpDiv}, i2u(math.MinInt64), i2u(-1), i2u(math.MinInt64)},
+		{"rem", Instr{Op: OpRem}, i2u(-7), 2, i2u(-1)},
+		{"rem-zero", Instr{Op: OpRem}, 5, 0, 5},
+		{"rem-overflow", Instr{Op: OpRem}, i2u(math.MinInt64), i2u(-1), 0},
+		{"and", Instr{Op: OpAnd}, 0xff00, 0x0ff0, 0x0f00},
+		{"or", Instr{Op: OpOr}, 0xff00, 0x0ff0, 0xfff0},
+		{"xor", Instr{Op: OpXor}, 0xff00, 0x0ff0, 0xf0f0},
+		{"sll", Instr{Op: OpSll}, 1, 8, 256},
+		{"sll-mask", Instr{Op: OpSll}, 1, 64, 1},
+		{"srl", Instr{Op: OpSrl}, uint64(1) << 63, 63, 1},
+		{"sra", Instr{Op: OpSra}, i2u(-16), 2, i2u(-4)},
+		{"slt-true", Instr{Op: OpSlt}, i2u(-1), 0, 1},
+		{"slt-false", Instr{Op: OpSlt}, 0, i2u(-1), 0},
+		{"sltu-true", Instr{Op: OpSltu}, 0, i2u(-1), 1},
+		{"sltu-false", Instr{Op: OpSltu}, i2u(-1), 0, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Eval(tc.in, tc.rs1, tc.rs2, 0); got != tc.want {
+				t.Errorf("Eval(%v, %d, %d) = %d, want %d", tc.in.Op, tc.rs1, tc.rs2, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEvalImmediates(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Instr
+		rs1  uint64
+		want uint64
+	}{
+		{"addi", Instr{Op: OpAddi, Imm: -5}, 10, 5},
+		{"andi-sext", Instr{Op: OpAndi, Imm: -1}, 0xdeadbeef, 0xdeadbeef},
+		{"ori", Instr{Op: OpOri, Imm: 0x0f}, 0xf0, 0xff},
+		{"xori", Instr{Op: OpXori, Imm: -1}, 0, math.MaxUint64},
+		{"slli", Instr{Op: OpSlli, Imm: 4}, 3, 48},
+		{"srli", Instr{Op: OpSrli, Imm: 4}, 48, 3},
+		{"srai", Instr{Op: OpSrai, Imm: 1}, i2u(-2), i2u(-1)},
+		{"slti", Instr{Op: OpSlti, Imm: 0}, i2u(-1), 1},
+		{"li", Instr{Op: OpLi, Imm: -2}, 999, i2u(-2)},
+		{"lih", Instr{Op: OpLih, Imm: 0x12}, 0x34, 0x12_0000_0034},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Eval(tc.in, tc.rs1, 0, 0); got != tc.want {
+				t.Errorf("Eval(%v, rs1=%#x) = %#x, want %#x", tc.in.Op, tc.rs1, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEvalFP(t *testing.T) {
+	f := F2U
+	tests := []struct {
+		name     string
+		in       Instr
+		rs1, rs2 uint64
+		want     uint64
+	}{
+		{"fadd", Instr{Op: OpFadd}, f(1.5), f(2.25), f(3.75)},
+		{"fsub", Instr{Op: OpFsub}, f(1.0), f(2.5), f(-1.5)},
+		{"fmul", Instr{Op: OpFmul}, f(3.0), f(0.5), f(1.5)},
+		{"fdiv", Instr{Op: OpFdiv}, f(1.0), f(4.0), f(0.25)},
+		{"fdiv-zero", Instr{Op: OpFdiv}, f(1.0), f(0.0), f(math.Inf(1))},
+		{"fsqrt", Instr{Op: OpFsqrt}, f(9.0), 0, f(3.0)},
+		{"fneg", Instr{Op: OpFneg}, f(2.0), 0, f(-2.0)},
+		{"fabs", Instr{Op: OpFabs}, f(-2.0), 0, f(2.0)},
+		{"fmov", Instr{Op: OpFmov}, f(7.5), 0, f(7.5)},
+		{"fcvt", Instr{Op: OpFcvt}, i2u(-3), 0, f(-3.0)},
+		{"fcvti", Instr{Op: OpFcvti}, f(-3.9), 0, i2u(-3)},
+		{"fcvti-nan", Instr{Op: OpFcvti}, f(math.NaN()), 0, 0},
+		{"fcvti-inf", Instr{Op: OpFcvti}, f(math.Inf(1)), 0, 0},
+		{"flt", Instr{Op: OpFlt}, f(1.0), f(2.0), 1},
+		{"fle-eq", Instr{Op: OpFle}, f(2.0), f(2.0), 1},
+		{"feq-nan", Instr{Op: OpFeq}, f(math.NaN()), f(math.NaN()), 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Eval(tc.in, tc.rs1, tc.rs2, 0); got != tc.want {
+				t.Errorf("Eval(%v) = %#x (%g), want %#x (%g)",
+					tc.in.Op, got, U2F(got), tc.want, U2F(tc.want))
+			}
+		})
+	}
+}
+
+func TestEvalJalLink(t *testing.T) {
+	in := Instr{Op: OpJal, Rd: RA, Imm: 10}
+	if got := Eval(in, 0, 0, 41); got != 42 {
+		t.Errorf("Jal link = %d, want 42", got)
+	}
+}
+
+func TestBranchTaken(t *testing.T) {
+	neg := i2u(-5)
+	tests := []struct {
+		op       Op
+		rs1, rs2 uint64
+		want     bool
+	}{
+		{OpBeq, 5, 5, true},
+		{OpBeq, 5, 6, false},
+		{OpBne, 5, 6, true},
+		{OpBne, 5, 5, false},
+		{OpBlt, neg, 0, true},
+		{OpBlt, 0, neg, false},
+		{OpBge, 0, neg, true},
+		{OpBge, neg, 0, false},
+		{OpBge, 7, 7, true},
+		{OpAdd, 1, 1, false}, // non-branch never taken
+	}
+	for _, tc := range tests {
+		if got := BranchTaken(Instr{Op: tc.op}, tc.rs1, tc.rs2); got != tc.want {
+			t.Errorf("BranchTaken(%v, %d, %d) = %v, want %v", tc.op, tc.rs1, tc.rs2, got, tc.want)
+		}
+	}
+}
+
+func TestEffAddr(t *testing.T) {
+	in := Instr{Op: OpLd, Imm: -8}
+	if got := EffAddr(in, 100); got != 92 {
+		t.Errorf("EffAddr = %d, want 92", got)
+	}
+	in.Imm = 16
+	if got := EffAddr(in, 100); got != 116 {
+		t.Errorf("EffAddr = %d, want 116", got)
+	}
+}

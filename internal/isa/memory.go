@@ -1,0 +1,105 @@
+package isa
+
+// Memory is the sparse architectural data memory: a 64-bit byte-addressed
+// space accessed in aligned 8-byte words, backed by 4KB pages allocated on
+// first touch. Unwritten locations read as zero. The same type backs the
+// functional emulator's state and the timing core's committed state.
+type Memory struct {
+	pages map[uint64][]uint64
+	// dirty tracks pages written since the last Checksum, purely as an
+	// iteration aid; semantics do not depend on it.
+	reads  uint64
+	writes uint64
+}
+
+// PageBytes is the memory page size in bytes (matches the 4KB TLB page of
+// paper Table 1).
+const PageBytes = 4096
+
+const wordsPerPage = PageBytes / 8
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64][]uint64)}
+}
+
+func pageOf(addr uint64) (page uint64, idx uint64) {
+	return addr / PageBytes, (addr % PageBytes) / 8
+}
+
+// ReadWord returns the aligned 8-byte word containing addr.
+func (m *Memory) ReadWord(addr uint64) uint64 {
+	m.reads++
+	p, i := pageOf(addr)
+	pg, ok := m.pages[p]
+	if !ok {
+		return 0
+	}
+	return pg[i]
+}
+
+// WriteWord stores an aligned 8-byte word at addr.
+func (m *Memory) WriteWord(addr, val uint64) {
+	m.writes++
+	p, i := pageOf(addr)
+	pg, ok := m.pages[p]
+	if !ok {
+		pg = make([]uint64, wordsPerPage)
+		m.pages[p] = pg
+	}
+	pg[i] = val
+}
+
+// ReadF64 reads a float64 stored at addr.
+func (m *Memory) ReadF64(addr uint64) float64 { return U2F(m.ReadWord(addr)) }
+
+// WriteF64 stores a float64 at addr.
+func (m *Memory) WriteF64(addr uint64, v float64) { m.WriteWord(addr, F2U(v)) }
+
+// Load copies an initial image (address → word) into memory.
+func (m *Memory) Load(image map[uint64]uint64) {
+	for a, v := range image {
+		m.WriteWord(a, v)
+	}
+}
+
+// Clone returns a deep copy. Used to run the same program image through
+// the emulator and the pipeline independently.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for p, pg := range m.pages {
+		npg := make([]uint64, wordsPerPage)
+		copy(npg, pg)
+		c.pages[p] = npg
+	}
+	return c
+}
+
+// Checksum folds every non-zero word (with its address) into a 64-bit FNV
+// style hash. Two memories with identical contents produce identical
+// checksums regardless of page allocation order; all-zero pages do not
+// affect the result.
+func (m *Memory) Checksum() uint64 {
+	var sum uint64
+	for p, pg := range m.pages {
+		var pageSum uint64
+		for i, w := range pg {
+			if w != 0 {
+				addr := p*PageBytes + uint64(i)*8
+				h := addr*0x9e3779b97f4a7c15 ^ w
+				h ^= h >> 29
+				h *= 0xbf58476d1ce4e5b9
+				h ^= h >> 32
+				pageSum += h
+			}
+		}
+		sum += pageSum
+	}
+	return sum
+}
+
+// Stats reports the number of word reads and writes performed.
+func (m *Memory) Stats() (reads, writes uint64) { return m.reads, m.writes }
+
+// Pages reports how many distinct pages have been touched.
+func (m *Memory) Pages() int { return len(m.pages) }

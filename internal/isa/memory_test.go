@@ -1,0 +1,122 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryZeroFill(t *testing.T) {
+	m := NewMemory()
+	if got := m.ReadWord(0x1234560); got != 0 {
+		t.Errorf("fresh memory read = %d, want 0", got)
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory()
+	m.WriteWord(64, 0xdead)
+	m.WriteWord(72, 0xbeef)
+	m.WriteWord(64+PageBytes*3, 77) // distant page
+	if got := m.ReadWord(64); got != 0xdead {
+		t.Errorf("read(64) = %#x", got)
+	}
+	if got := m.ReadWord(72); got != 0xbeef {
+		t.Errorf("read(72) = %#x", got)
+	}
+	if got := m.ReadWord(64 + PageBytes*3); got != 77 {
+		t.Errorf("distant page read = %d", got)
+	}
+	m.WriteWord(64, 1)
+	if got := m.ReadWord(64); got != 1 {
+		t.Errorf("overwrite read = %d", got)
+	}
+}
+
+func TestMemoryF64(t *testing.T) {
+	m := NewMemory()
+	m.WriteF64(8, 3.5)
+	if got := m.ReadF64(8); got != 3.5 {
+		t.Errorf("ReadF64 = %g", got)
+	}
+}
+
+func TestMemoryCloneIsDeep(t *testing.T) {
+	m := NewMemory()
+	m.WriteWord(16, 5)
+	c := m.Clone()
+	c.WriteWord(16, 9)
+	if m.ReadWord(16) != 5 {
+		t.Error("clone write leaked into original")
+	}
+	if c.ReadWord(16) != 9 {
+		t.Error("clone write lost")
+	}
+}
+
+func TestMemoryChecksumProperties(t *testing.T) {
+	// Checksum must be order-independent and insensitive to zero writes.
+	cfg := &quick.Config{MaxCount: 50}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 50 + r.Intn(100)
+		addrs := make([]uint64, n)
+		vals := make([]uint64, n)
+		for i := range addrs {
+			addrs[i] = uint64(r.Intn(1<<20)) &^ 7
+			vals[i] = r.Uint64()
+		}
+		a := NewMemory()
+		for i := range addrs {
+			a.WriteWord(addrs[i], vals[i])
+		}
+		b := NewMemory()
+		for i := n - 1; i >= 0; i-- {
+			// Rebuild the final contents (later writes win in a, so replay
+			// only the last write per address).
+			final := make(map[uint64]uint64)
+			for j := range addrs {
+				final[addrs[j]] = vals[j]
+			}
+			for addr, v := range final {
+				b.WriteWord(addr, v)
+			}
+			break
+		}
+		// Touch extra zero pages in b; they must not change the sum.
+		b.WriteWord(1<<30, 0)
+		return a.Checksum() == b.Checksum()
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryChecksumDetectsDifference(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	a.WriteWord(8, 1)
+	b.WriteWord(8, 2)
+	if a.Checksum() == b.Checksum() {
+		t.Error("different contents, same checksum")
+	}
+	c := NewMemory()
+	c.WriteWord(16, 1) // same value, different address
+	if a.Checksum() == c.Checksum() {
+		t.Error("different addresses, same checksum")
+	}
+}
+
+func TestMemoryLoadAndStats(t *testing.T) {
+	m := NewMemory()
+	m.Load(map[uint64]uint64{0: 1, 8: 2})
+	if m.ReadWord(8) != 2 {
+		t.Error("Load did not populate memory")
+	}
+	r, w := m.Stats()
+	if r != 1 || w != 2 {
+		t.Errorf("stats = (%d, %d), want (1, 2)", r, w)
+	}
+	if m.Pages() == 0 {
+		t.Error("no pages counted")
+	}
+}

@@ -1,0 +1,157 @@
+// Package mem models the simulated memory system of paper Table 1:
+// split 32KB 4-way L1 caches (2-cycle), a unified 256KB 4-way L2
+// (10-cycle), a 250-cycle main memory, and a 128-entry 4-way D-TLB with
+// 4KB pages and a 30-cycle miss penalty. Caches are non-blocking: misses
+// to a line already in flight merge with the outstanding fill
+// (MSHR-style), and the hierarchy reports the cycle at which data becomes
+// available rather than stalling.
+package mem
+
+import "fmt"
+
+// CacheConfig sizes one cache.
+type CacheConfig struct {
+	Name      string
+	SizeBytes int
+	Assoc     int
+	LineBytes int
+}
+
+// Validate checks the geometry is a usable power-of-two arrangement.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.Assoc <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("mem: %s: non-positive geometry %+v", c.Name, c)
+	}
+	sets := c.SizeBytes / (c.Assoc * c.LineBytes)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: %s: set count %d is not a power of two", c.Name, sets)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("mem: %s: line size %d is not a power of two", c.Name, c.LineBytes)
+	}
+	return nil
+}
+
+// CacheStats counts the traffic seen by one cache.
+type CacheStats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRatio is Misses/Accesses (0 when idle). For the L2 this is the
+// "local" miss ratio of paper Table 2 because only L1 misses reach it.
+func (s CacheStats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // higher = more recently used
+}
+
+// Cache is one set-associative, write-back, write-allocate cache with
+// true-LRU replacement. It tracks tags only; simulated data lives in the
+// architectural isa.Memory.
+type Cache struct {
+	cfg       CacheConfig
+	sets      [][]line
+	setMask   uint64
+	lineShift uint
+	tick      uint64
+	stats     CacheStats
+}
+
+// NewCache builds a cache; the configuration must validate.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.SizeBytes / (cfg.Assoc * cfg.LineBytes)
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(nsets - 1), lineShift: shift}
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift << c.lineShift }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	l := addr >> c.lineShift
+	return l & c.setMask, l >> 0 // full line number as tag keeps lookups unambiguous
+}
+
+// Probe reports whether addr currently hits, without updating LRU or
+// statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access looks up addr, updating LRU and statistics. On a miss it
+// allocates the line (evicting LRU) and reports whether a dirty victim was
+// written back. dirty marks the line dirty on stores.
+func (c *Cache) Access(addr uint64, store bool) (hit bool) {
+	c.stats.Accesses++
+	c.tick++
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.tick
+			if store {
+				ways[i].dirty = true
+			}
+			return true
+		}
+	}
+	c.stats.Misses++
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	if ways[victim].valid && ways[victim].dirty {
+		c.stats.Writebacks++
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: store, lru: c.tick}
+	return false
+}
+
+// Invalidate drops a line if present (used by tests).
+func (c *Cache) Invalidate(addr uint64) {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		if c.sets[set][i].tag == tag {
+			c.sets[set][i] = line{}
+		}
+	}
+}
+
+// Stats returns a copy of the access counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }

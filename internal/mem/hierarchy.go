@@ -1,0 +1,198 @@
+package mem
+
+// Config sizes the whole memory system. DefaultConfig reproduces paper
+// Table 1.
+type Config struct {
+	L1I CacheConfig
+	L1D CacheConfig
+	L2  CacheConfig
+
+	L1Latency  int64 // cycles for an L1 hit
+	L2Latency  int64 // additional cycles for an L2 hit
+	MemLatency int64 // additional cycles for main memory
+
+	TLBEntries   int
+	TLBAssoc     int
+	TLBPageBytes uint64
+	TLBPenalty   int64
+	DisableTLB   bool // sensitivity experiments
+}
+
+// DefaultConfig returns the paper's base memory system (Table 1).
+func DefaultConfig() Config {
+	return Config{
+		L1I:          CacheConfig{Name: "L1I", SizeBytes: 32 << 10, Assoc: 4, LineBytes: 64},
+		L1D:          CacheConfig{Name: "L1D", SizeBytes: 32 << 10, Assoc: 4, LineBytes: 64},
+		L2:           CacheConfig{Name: "L2", SizeBytes: 256 << 10, Assoc: 4, LineBytes: 64},
+		L1Latency:    2,
+		L2Latency:    10,
+		MemLatency:   250,
+		TLBEntries:   128,
+		TLBAssoc:     4,
+		TLBPageBytes: 4096,
+		TLBPenalty:   30,
+	}
+}
+
+// AccessResult describes the timing and classification of one access.
+type AccessResult struct {
+	Ready   int64 // cycle at which the data is available
+	L1Miss  bool
+	L2Miss  bool
+	TLBMiss bool
+	Merged  bool // L1 miss merged into an in-flight fill of the same line
+}
+
+// Hierarchy is the full simulated memory system. It is not safe for
+// concurrent use; the cycle-level core drives it single-threaded.
+type Hierarchy struct {
+	cfg Config
+	l1i *Cache
+	l1d *Cache
+	l2  *Cache
+	tlb *TLB
+
+	// In-flight fills by line address, per level that sourced them. Used
+	// for MSHR-style merging of secondary misses.
+	inflightL1D map[uint64]int64
+	inflightL1I map[uint64]int64
+
+	DemandFetches uint64
+	LoadCount     uint64
+	StoreCount    uint64
+	LoadL1Misses  uint64
+}
+
+// NewHierarchy builds the memory system.
+func NewHierarchy(cfg Config) *Hierarchy {
+	h := &Hierarchy{
+		cfg:         cfg,
+		l1i:         NewCache(cfg.L1I),
+		l1d:         NewCache(cfg.L1D),
+		l2:          NewCache(cfg.L2),
+		inflightL1D: make(map[uint64]int64),
+		inflightL1I: make(map[uint64]int64),
+	}
+	if !cfg.DisableTLB {
+		h.tlb = NewTLB(cfg.TLBEntries, cfg.TLBAssoc, cfg.TLBPageBytes, cfg.TLBPenalty)
+	}
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// sweep drops completed fills so the in-flight tables stay small.
+func sweep(m map[uint64]int64, now int64) {
+	if len(m) < 64 {
+		return
+	}
+	for k, v := range m {
+		if v <= now {
+			delete(m, k)
+		}
+	}
+}
+
+// access runs the generic two-level lookup for one L1 cache.
+func (h *Hierarchy) access(l1 *Cache, inflight map[uint64]int64, addr uint64, now int64, store bool) AccessResult {
+	res := AccessResult{}
+	line := l1.LineAddr(addr)
+	sweep(inflight, now)
+	start := now
+	if l1.Access(addr, store) {
+		// Tag hit — but the fill may still be in flight (secondary miss).
+		if ready, ok := inflight[line]; ok && ready > now {
+			res.L1Miss = true
+			res.Merged = true
+			res.Ready = ready
+			return res
+		}
+		res.Ready = start + h.cfg.L1Latency
+		return res
+	}
+	res.L1Miss = true
+	// Primary miss: go to L2 (and possibly memory), then fill L1.
+	ready := start + h.cfg.L1Latency
+	if h.l2.Access(addr, false) {
+		ready += h.cfg.L2Latency
+	} else {
+		res.L2Miss = true
+		ready += h.cfg.L2Latency + h.cfg.MemLatency
+	}
+	inflight[line] = ready
+	res.Ready = ready
+	return res
+}
+
+// Load performs a data load issued at cycle `now` and returns its timing.
+func (h *Hierarchy) Load(addr uint64, now int64) AccessResult {
+	h.LoadCount++
+	var tlbDelay int64
+	var tlbMiss bool
+	if h.tlb != nil {
+		tlbDelay = h.tlb.Translate(addr)
+		tlbMiss = tlbDelay > 0
+	}
+	res := h.access(h.l1d, h.inflightL1D, addr, now+tlbDelay, false)
+	res.TLBMiss = tlbMiss
+	if res.L1Miss {
+		h.LoadL1Misses++
+	}
+	return res
+}
+
+// ProbeLoad reports whether a load to addr would hit in the L1D right now
+// (including lines whose fill already completed), without touching any
+// state. The core uses it to decide whether a load needs an outstanding-
+// miss slot (bit-vector) before really issuing it.
+func (h *Hierarchy) ProbeLoad(addr uint64, now int64) (hit bool, merged bool) {
+	if !h.l1d.Probe(addr) {
+		return false, false
+	}
+	if ready, ok := h.inflightL1D[h.l1d.LineAddr(addr)]; ok && ready > now {
+		return false, true
+	}
+	return true, false
+}
+
+// Store performs a data store at commit time. Commit does not stall on
+// store misses (the line fill completes in the background); the returned
+// Ready is when the line is fully owned.
+func (h *Hierarchy) Store(addr uint64, now int64) AccessResult {
+	h.StoreCount++
+	var tlbDelay int64
+	var tlbMiss bool
+	if h.tlb != nil {
+		tlbDelay = h.tlb.Translate(addr)
+		tlbMiss = tlbDelay > 0
+	}
+	res := h.access(h.l1d, h.inflightL1D, addr, now+tlbDelay, true)
+	res.TLBMiss = tlbMiss
+	return res
+}
+
+// Fetch performs an instruction fetch of the line containing byte address
+// addr.
+func (h *Hierarchy) Fetch(addr uint64, now int64) AccessResult {
+	h.DemandFetches++
+	return h.access(h.l1i, h.inflightL1I, addr, now, false)
+}
+
+// L1DStats, L1IStats, L2Stats, and TLBMissRatio expose the counters the
+// evaluation reports (paper Table 2 columns).
+func (h *Hierarchy) L1DStats() CacheStats { return h.l1d.Stats() }
+
+// L1IStats returns instruction-cache counters.
+func (h *Hierarchy) L1IStats() CacheStats { return h.l1i.Stats() }
+
+// L2Stats returns unified-L2 counters; MissRatio() is the local miss ratio.
+func (h *Hierarchy) L2Stats() CacheStats { return h.l2.Stats() }
+
+// TLBMissRatio returns the D-TLB miss ratio (0 if the TLB is disabled).
+func (h *Hierarchy) TLBMissRatio() float64 {
+	if h.tlb == nil {
+		return 0
+	}
+	return h.tlb.MissRatio()
+}

@@ -1,0 +1,56 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHierarchyTimingProperties drives the hierarchy with random traffic
+// and checks the universal timing invariants: data is never ready before
+// the issue cycle plus the L1 latency, never later than the full
+// TLB+L1+L2+memory path, and repeated accesses to the same line get
+// monotonically cheaper once the fill lands.
+func TestHierarchyTimingProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(2026))
+	cfg := DefaultConfig()
+	h := NewHierarchy(cfg)
+	maxPath := cfg.TLBPenalty + cfg.L1Latency + cfg.L2Latency + cfg.MemLatency
+	now := int64(0)
+	for i := 0; i < 50000; i++ {
+		now += int64(r.Intn(4))
+		addr := uint64(r.Intn(1<<22)) &^ 7
+		var res AccessResult
+		kind := r.Intn(3)
+		switch kind {
+		case 0:
+			res = h.Load(addr, now)
+		case 1:
+			res = h.Store(addr, now)
+		default:
+			res = h.Fetch(addr, now)
+		}
+		if res.Ready < now+cfg.L1Latency && !res.Merged {
+			t.Fatalf("access %d ready %d < now+L1 %d", i, res.Ready, now+cfg.L1Latency)
+		}
+		if res.Ready > now+maxPath {
+			t.Fatalf("access %d ready %d > worst case %d", i, res.Ready, now+maxPath)
+		}
+		if res.L2Miss && !res.L1Miss {
+			t.Fatalf("access %d: L2 miss without L1 miss", i)
+		}
+		// After the fill completes, the same line must hit in the cache
+		// that sourced it (data side only; fetches fill the L1I).
+		if kind != 2 && res.L1Miss && r.Intn(4) == 0 {
+			again := h.Load(addr, res.Ready+1)
+			if again.L1Miss {
+				t.Fatalf("access %d: line not resident after fill", i)
+			}
+		}
+	}
+	// Statistics sanity: misses never exceed accesses anywhere.
+	for _, s := range []CacheStats{h.L1DStats(), h.L1IStats(), h.L2Stats()} {
+		if s.Misses > s.Accesses {
+			t.Fatalf("misses %d > accesses %d", s.Misses, s.Accesses)
+		}
+	}
+}

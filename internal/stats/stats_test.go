@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicMean(t *testing.T) {
+	if got := HarmonicMean([]float64{1, 1, 1}); got != 1 {
+		t.Errorf("HM(1,1,1) = %v", got)
+	}
+	if got := HarmonicMean([]float64{1, 2}); math.Abs(got-4.0/3) > 1e-12 {
+		t.Errorf("HM(1,2) = %v, want 4/3", got)
+	}
+	if got := HarmonicMean(nil); got != 0 {
+		t.Errorf("HM(nil) = %v", got)
+	}
+	if got := HarmonicMean([]float64{1, 0}); got != 0 {
+		t.Errorf("HM with zero = %v", got)
+	}
+	if got := HarmonicMean([]float64{1, -2}); got != 0 {
+		t.Errorf("HM with negative = %v", got)
+	}
+}
+
+func TestHarmonicLEArithmetic(t *testing.T) {
+	// AM-HM inequality for positive inputs.
+	f := func(a, b, c uint8) bool {
+		xs := []float64{float64(a)/16 + 0.1, float64(b)/16 + 0.1, float64(c)/16 + 0.1}
+		return HarmonicMean(xs) <= ArithMean(xs)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArithMean(t *testing.T) {
+	if got := ArithMean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("AM = %v", got)
+	}
+	if got := ArithMean(nil); got != 0 {
+		t.Errorf("AM(nil) = %v", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(2, 1); got != 2 {
+		t.Errorf("speedup = %v", got)
+	}
+	if got := Speedup(2, 0); got != 0 {
+		t.Errorf("speedup with zero base = %v", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(1.2); got != "+20.0%" {
+		t.Errorf("Pct(1.2) = %q", got)
+	}
+	if got := Pct(0.95); got != "-5.0%" {
+		t.Errorf("Pct(0.95) = %q", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "T",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("b", "x")
+	tbl.AddNote("footnote %d", 7)
+	var sb strings.Builder
+	tbl.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"T\n", "name", "value", "alpha", "1.500", "x", "note: footnote 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// Columns must be aligned: "value" column starts at the same offset in
+	// header and rows.
+	lines := strings.Split(out, "\n")
+	var headerIdx, rowIdx int = -1, -1
+	for i, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			headerIdx = i
+		}
+		if strings.HasPrefix(l, "alpha") {
+			rowIdx = i
+		}
+	}
+	if headerIdx < 0 || rowIdx < 0 {
+		t.Fatalf("table structure missing:\n%s", out)
+	}
+	if strings.Index(lines[headerIdx], "value") != strings.Index(lines[rowIdx], "1.500") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableRenderNoTitle(t *testing.T) {
+	tbl := &Table{Headers: []string{"h"}}
+	tbl.AddRow("v")
+	var sb strings.Builder
+	tbl.Render(&sb)
+	if strings.Contains(sb.String(), "=") {
+		t.Error("untitled table rendered a title rule")
+	}
+}

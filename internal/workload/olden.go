@@ -1,0 +1,295 @@
+package workload
+
+import "largewindow/internal/isa"
+
+// The Olden kernels are reimplementations of the original benchmark
+// algorithms (Carlisle et al. [11]) on heap data structures laid out in
+// the initial memory image: pointer-intensive code whose misses are
+// mostly serial dependence chains — the workloads the paper's WIB is
+// motivated by.
+
+func init() {
+	register("treeadd", SuiteOlden, buildTreeadd)
+	register("em3d", SuiteOlden, buildEm3d)
+	register("mst", SuiteOlden, buildMST)
+	register("perimeter", SuiteOlden, buildPerimeter)
+}
+
+// buildTreeadd sums a binary tree by recursion (paper input: 20 levels).
+// Nodes are allocated depth-first like the original benchmark: 32-byte
+// nodes {left, right, value, pad}.
+func buildTreeadd(s Scale) *isa.Program {
+	levels := pick3(s, 9, 16, 20)
+	b := isa.NewBuilder("treeadd")
+
+	var alloc func(depth int) uint64
+	alloc = func(depth int) uint64 {
+		n := b.Alloc(32)
+		if depth > 1 {
+			l := alloc(depth - 1)
+			r := alloc(depth - 1)
+			b.SetWord(n, l)
+			b.SetWord(n+8, r)
+		}
+		b.SetWord(n+16, 1)
+		return n
+	}
+	root := alloc(levels)
+
+	fn := b.NewLabel()
+	b.LiAddr(isa.A0, root)
+	b.Call(fn)
+	b.Halt()
+
+	// f(node): a0 = node.value + f(node.left) + f(node.right);
+	// null children read as 0 and the recursion bottoms out on them.
+	b.Bind(fn)
+	leaf := b.NewLabel()
+	b.Beq(isa.A0, isa.Zero, leaf)
+	b.Push(isa.RA, isa.S0, isa.S1)
+	b.Mov(isa.S0, isa.A0)    // node
+	b.Ld(isa.S1, isa.S0, 16) // running sum = value
+	b.Ld(isa.A0, isa.S0, 0)  // left
+	b.Call(fn)
+	b.Add(isa.S1, isa.S1, isa.A0)
+	b.Ld(isa.A0, isa.S0, 8) // right
+	b.Call(fn)
+	b.Add(isa.A0, isa.A0, isa.S1)
+	b.Pop(isa.RA, isa.S0, isa.S1)
+	b.Ret()
+	b.Bind(leaf)
+	b.Li(isa.A0, 0)
+	b.Ret()
+	return b.MustBuild()
+}
+
+// buildEm3d propagates values through a bipartite E/H node graph (paper
+// input: 20,000 nodes, arity 10). Node: {next, value(f64), degree,
+// nbr[0..d-1], coeff[0..d-1]}; the node list order is randomized so
+// neighbor loads scatter across the heap.
+func buildEm3d(s Scale) *isa.Program {
+	nNodes := pick3(s, 128, 6000, 20000)
+	arity := pick3(s, 3, 6, 10)
+	iters := pick3(s, 2, 4, 10)
+
+	b := isa.NewBuilder("em3d")
+	r := newPRNG(42)
+	nodeBytes := uint64(8 + 8 + 8 + 16*arity)
+	addr := make([]uint64, nNodes)
+	order := make([]int, nNodes)
+	for i := range addr {
+		addr[i] = b.Alloc(nodeBytes)
+		order[i] = i
+	}
+	r.shuffle(order)
+	// Two halves: E nodes link to H nodes and vice versa.
+	half := nNodes / 2
+	for i := 0; i < nNodes; i++ {
+		n := addr[order[i]]
+		if i+1 < nNodes {
+			b.SetWord(n, addr[order[i+1]])
+		}
+		b.SetF64(n+8, 1.0+r.f64())
+		b.SetWord(n+16, uint64(arity))
+		for j := 0; j < arity; j++ {
+			var nb int
+			if order[i] < half {
+				nb = half + r.intn(nNodes-half)
+			} else {
+				nb = r.intn(half)
+			}
+			b.SetWord(n+24+uint64(j)*8, addr[nb])
+			b.SetF64(n+24+uint64(arity+j)*8, r.f64()*0.01)
+		}
+	}
+	head := addr[order[0]]
+
+	// for it in iters: for node in list: for j: v -= coeff[j]*nbr[j].value
+	b.Li(isa.S5, int32(iters))
+	outer := b.Here()
+	b.LiAddr(isa.S0, head)
+	nodeLoop := b.Here()
+	b.Fld(isa.F0, isa.S0, 8)   // value
+	b.Ld(isa.S1, isa.S0, 16)   // degree
+	b.Addi(isa.S2, isa.S0, 24) // &nbr[0]
+	b.Slli(isa.S3, isa.S1, 3)
+	b.Add(isa.S3, isa.S3, isa.S2) // &coeff[0]
+	nbrLoop := b.Here()
+	b.Ld(isa.T1, isa.S2, 0)  // neighbor pointer
+	b.Fld(isa.F1, isa.T1, 8) // neighbor value (scattered miss)
+	b.Fld(isa.F2, isa.S3, 0) // coefficient
+	b.Fmul(isa.F1, isa.F1, isa.F2)
+	b.Fsub(isa.F0, isa.F0, isa.F1)
+	b.Addi(isa.S2, isa.S2, 8)
+	b.Addi(isa.S3, isa.S3, 8)
+	b.Addi(isa.S1, isa.S1, -1)
+	b.Bne(isa.S1, isa.Zero, nbrLoop)
+	b.Fst(isa.F0, isa.S0, 8)
+	b.Ld(isa.S0, isa.S0, 0) // next node
+	b.Bne(isa.S0, isa.Zero, nodeLoop)
+	b.Addi(isa.S5, isa.S5, -1)
+	b.Bne(isa.S5, isa.Zero, outer)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildMST runs Prim's algorithm over nodes scattered across a large heap
+// (paper input: 1024 nodes): a pointer array indexes node records, edge
+// weights are computed by hashing the endpoint ids, and each round scans
+// the remaining nodes for the minimum-distance one — many independent
+// dependent-load pairs per round.
+func buildMST(s Scale) *isa.Program {
+	n := pick3(s, 32, 512, 1024)
+	b := isa.NewBuilder("mst")
+	r := newPRNG(7)
+
+	// Node record: {dist, inMST, id, pad}. Scatter with padding.
+	ptrs := b.AllocWords(uint64(n))
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	r.shuffle(order)
+	nodeAddr := make([]uint64, n)
+	for _, i := range order {
+		nodeAddr[i] = b.Alloc(32 + uint64(r.intn(8))*96)
+	}
+	const inf = int32(1 << 30)
+	for i := 0; i < n; i++ {
+		b.SetWord(ptrs+uint64(i)*8, nodeAddr[i])
+		b.SetWord(nodeAddr[i], uint64(inf))
+		b.SetWord(nodeAddr[i]+16, uint64(i))
+	}
+	b.SetWord(nodeAddr[0], 0) // start node
+
+	// Register plan:
+	//   S0 ptr array, S1 n, S2 round counter, S3 best ptr, S4 best dist,
+	//   S5 scan index, T* scratch, A4 id of last added node.
+	b.LiAddr(isa.S0, ptrs)
+	b.Li(isa.S1, int32(n))
+	b.Li(isa.S2, int32(n)) // rounds
+	round := b.Here()
+	b.Li(isa.S4, inf)
+	b.Li(isa.S3, 0)
+	b.Li(isa.S5, 0)
+	scan := b.Here()
+	skip := b.NewLabel()
+	b.Slli(isa.T0, isa.S5, 3)
+	b.Add(isa.T0, isa.T0, isa.S0)
+	b.Ld(isa.T1, isa.T0, 0) // node ptr (sequential)
+	b.Ld(isa.T2, isa.T1, 8) // inMST (scattered miss)
+	b.Bne(isa.T2, isa.Zero, skip)
+	b.Ld(isa.T3, isa.T1, 0) // dist
+	b.Bge(isa.T3, isa.S4, skip)
+	b.Mov(isa.S4, isa.T3)
+	b.Mov(isa.S3, isa.T1)
+	b.Bind(skip)
+	b.Addi(isa.S5, isa.S5, 1)
+	b.Blt(isa.S5, isa.S1, scan)
+	// Add best to MST.
+	noneLeft := b.NewLabel()
+	b.Beq(isa.S3, isa.Zero, noneLeft)
+	b.Li(isa.T0, 1)
+	b.St(isa.T0, isa.S3, 8)
+	b.Ld(isa.A4, isa.S3, 16) // its id
+	// Relax: for each node v not in MST: w = hash(u,v); if w < dist: update.
+	b.Li(isa.S5, 0)
+	relax := b.Here()
+	rskip := b.NewLabel()
+	b.Slli(isa.T0, isa.S5, 3)
+	b.Add(isa.T0, isa.T0, isa.S0)
+	b.Ld(isa.T1, isa.T0, 0)
+	b.Ld(isa.T2, isa.T1, 8) // inMST
+	b.Bne(isa.T2, isa.Zero, rskip)
+	// weight = ((u*2654435761) ^ (v*40503)) & 0xffff
+	b.Mov(isa.T3, isa.A4)
+	b.Li(isa.T4, 40503)
+	b.Mul(isa.T4, isa.S5, isa.T4)
+	b.Li64(isa.T5, 2654435761)
+	b.Mul(isa.T3, isa.T3, isa.T5)
+	b.Xor(isa.T3, isa.T3, isa.T4)
+	b.Andi(isa.T3, isa.T3, 0xffff)
+	b.Ld(isa.T4, isa.T1, 0) // current dist
+	b.Bge(isa.T3, isa.T4, rskip)
+	b.St(isa.T3, isa.T1, 0)
+	b.Bind(rskip)
+	b.Addi(isa.S5, isa.S5, 1)
+	b.Blt(isa.S5, isa.S1, relax)
+	b.Bind(noneLeft)
+	b.Addi(isa.S2, isa.S2, -1)
+	b.Bne(isa.S2, isa.Zero, round)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildPerimeter builds a random quadtree and computes a perimeter-style
+// metric by recursive traversal (paper input: 4K×4K image): irregular
+// control flow over scattered 48-byte nodes.
+func buildPerimeter(s Scale) *isa.Program {
+	depth := pick3(s, 5, 9, 11)
+	b := isa.NewBuilder("perimeter")
+	r := newPRNG(99)
+
+	// Node: {c0, c1, c2, c3, kind, size}; kind 0=white leaf, 1=black
+	// leaf, 2=internal. Children allocation order is randomized by
+	// splitting probabilistically.
+	var build func(d int) uint64
+	build = func(d int) uint64 {
+		n := b.Alloc(48)
+		split := d > 1 && r.intn(100) < 70
+		if split {
+			for c := 0; c < 4; c++ {
+				b.SetWord(n+uint64(c)*8, build(d-1))
+			}
+			b.SetWord(n+32, 2)
+		} else {
+			b.SetWord(n+32, uint64(r.intn(2)))
+		}
+		b.SetWord(n+40, uint64(1<<uint(depth-d)))
+		return n
+	}
+	root := build(depth)
+
+	fn := b.NewLabel()
+	b.Li(isa.S5, int32(pick3(s, 1, 4, 6))) // repeat traversals
+	top := b.Here()
+	b.LiAddr(isa.A0, root)
+	b.Call(fn)
+	b.Addi(isa.S5, isa.S5, -1)
+	b.Bne(isa.S5, isa.Zero, top)
+	b.Halt()
+
+	// f(node): internal → sum over children; black leaf → 4*size; white → 0.
+	b.Bind(fn)
+	white := b.NewLabel()
+	leafB := b.NewLabel()
+	b.Ld(isa.T0, isa.A0, 32)
+	b.Beq(isa.T0, isa.Zero, white)
+	b.Li(isa.T1, 1)
+	b.Beq(isa.T0, isa.T1, leafB)
+	// internal: iterate children
+	b.Push(isa.RA, isa.S0, isa.S1, isa.S2)
+	b.Mov(isa.S0, isa.A0)
+	b.Li(isa.S1, 0) // child index
+	b.Li(isa.S2, 0) // sum
+	kids := b.Here()
+	b.Slli(isa.T2, isa.S1, 3)
+	b.Add(isa.T2, isa.T2, isa.S0)
+	b.Ld(isa.A0, isa.T2, 0)
+	b.Call(fn)
+	b.Add(isa.S2, isa.S2, isa.A0)
+	b.Addi(isa.S1, isa.S1, 1)
+	b.Slti(isa.T3, isa.S1, 4)
+	b.Bne(isa.T3, isa.Zero, kids)
+	b.Mov(isa.A0, isa.S2)
+	b.Pop(isa.RA, isa.S0, isa.S1, isa.S2)
+	b.Ret()
+	b.Bind(leafB)
+	b.Ld(isa.T4, isa.A0, 40)
+	b.Slli(isa.A0, isa.T4, 2)
+	b.Ret()
+	b.Bind(white)
+	b.Li(isa.A0, 0)
+	b.Ret()
+	return b.MustBuild()
+}

@@ -1,0 +1,35 @@
+package workload
+
+import (
+	"testing"
+
+	"largewindow/internal/emu"
+)
+
+func TestOmittedExcludedFromSuites(t *testing.T) {
+	for _, name := range OmittedNames() {
+		if _, ok := Get(name); ok {
+			t.Errorf("%s leaked into the evaluation suites", name)
+		}
+		if _, ok := GetOmitted(name); !ok {
+			t.Errorf("%s not retrievable via GetOmitted", name)
+		}
+	}
+	if _, ok := GetOmitted("art"); ok {
+		t.Error("suite benchmark retrievable via GetOmitted")
+	}
+}
+
+func TestOmittedKernelsTerminate(t *testing.T) {
+	for _, name := range OmittedNames() {
+		spec, _ := GetOmitted(name)
+		m := emu.New(spec.Build(ScaleTest))
+		n, err := m.Run(30_000_000)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if n < 1000 {
+			t.Errorf("%s ran only %d instructions", name, n)
+		}
+	}
+}

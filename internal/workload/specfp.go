@@ -1,0 +1,417 @@
+package workload
+
+import "largewindow/internal/isa"
+
+// SPEC CFP2000 stand-ins: loop-parallel floating-point kernels over
+// arrays much larger than the L2 cache. Their misses are mostly
+// independent (high memory-level parallelism), which is what gives the FP
+// suite the paper's largest WIB speedups (84% average).
+
+func init() {
+	register("applu", SuiteFP, buildApplu)
+	register("art", SuiteFP, buildArt)
+	register("facerec", SuiteFP, buildFacerec)
+	register("galgel", SuiteFP, buildGalgel)
+	register("mgrid", SuiteFP, buildMgrid)
+	register("swim", SuiteFP, buildSwim)
+	register("wupwise", SuiteFP, buildWupwise)
+}
+
+// fzero loads 0.0 into fd.
+func fzero(b *isa.Builder, fd isa.Reg) {
+	b.Li(isa.U5, 0)
+	b.Fcvt(fd, isa.U5)
+}
+
+// buildSwim is a shallow-water-style 5-point stencil over large 2D grids:
+// streaming reads with row-stride neighbors, every line missing once.
+func buildSwim(s Scale) *isa.Program {
+	n := pick3(s, 24, 192, 512) // grid edge
+	iters := pick3(s, 1, 2, 40)
+	b := isa.NewBuilder("swim")
+	r := newPRNG(3)
+	cells := uint64(n * n)
+	u := b.AllocWords(cells)
+	p := b.AllocWords(cells)
+	un := b.AllocWords(cells)
+	for i := uint64(0); i < cells; i += 3 {
+		b.SetF64(u+i*8, r.f64())
+		b.SetF64(p+i*8, r.f64())
+	}
+	rowBytes := int32(n * 8)
+
+	b.Li(isa.S5, int32(iters))
+	outer := b.Here()
+	b.LiAddr(isa.S0, u+uint64(rowBytes)) // &u[n] (skip first row)
+	b.LiAddr(isa.S1, p+uint64(rowBytes))
+	b.LiAddr(isa.S2, un+uint64(rowBytes))
+	b.Li(isa.S3, int32(n*n-2*n)) // interior cells
+	cell := b.Here()
+	b.Fld(isa.F0, isa.S0, -8)
+	b.Fld(isa.F1, isa.S0, 8)
+	b.Fld(isa.F2, isa.S0, -rowBytes)
+	b.Fld(isa.F3, isa.S0, rowBytes)
+	b.Fadd(isa.F0, isa.F0, isa.F1)
+	b.Fadd(isa.F2, isa.F2, isa.F3)
+	b.Fadd(isa.F0, isa.F0, isa.F2)
+	b.Fld(isa.F4, isa.S1, 0)
+	b.Fld(isa.F5, isa.S1, 8)
+	b.Fsub(isa.F4, isa.F5, isa.F4)
+	b.Fadd(isa.F0, isa.F0, isa.F4)
+	b.Fmul(isa.F6, isa.F1, isa.F2) // velocity terms
+	b.Fmul(isa.F7, isa.F3, isa.F4)
+	b.Fadd(isa.F6, isa.F6, isa.F7)
+	b.Fmul(isa.F6, isa.F6, isa.F5)
+	b.Fadd(isa.F0, isa.F0, isa.F6)
+	b.Fmul(isa.F7, isa.F0, isa.F1) // Coriolis/height chain
+	b.Fadd(isa.F7, isa.F7, isa.F2)
+	b.Fmul(isa.F7, isa.F7, isa.F3)
+	b.Fadd(isa.F7, isa.F7, isa.F4)
+	b.Fmul(isa.F6, isa.F7, isa.F5)
+	b.Fadd(isa.F0, isa.F0, isa.F6)
+	// Independent register-only physics terms (the real kernel computes
+	// ~14 arrays of U/V/P combinations per point): these keep the machine
+	// busy during misses and lift the base IPC toward the paper's.
+	b.Fmul(isa.F8, isa.F1, isa.F1)
+	b.Fmul(isa.F9, isa.F2, isa.F2)
+	b.Fadd(isa.F8, isa.F8, isa.F9)
+	b.Fmul(isa.F10, isa.F3, isa.F4)
+	b.Fadd(isa.F8, isa.F8, isa.F10)
+	b.Fmul(isa.F11, isa.F5, isa.F1)
+	b.Fsub(isa.F11, isa.F11, isa.F2)
+	b.Fmul(isa.F12, isa.F11, isa.F11)
+	b.Fadd(isa.F8, isa.F8, isa.F12)
+	b.Fmul(isa.F13, isa.F8, isa.F3)
+	b.Fadd(isa.F13, isa.F13, isa.F4)
+	b.Fmul(isa.F14, isa.F13, isa.F5)
+	b.Fadd(isa.F0, isa.F0, isa.F14)
+	b.Fst(isa.F0, isa.S2, 0)
+	b.Addi(isa.S0, isa.S0, 8)
+	b.Addi(isa.S1, isa.S1, 8)
+	b.Addi(isa.S2, isa.S2, 8)
+	b.Addi(isa.S3, isa.S3, -1)
+	b.Bne(isa.S3, isa.Zero, cell)
+	b.Addi(isa.S5, isa.S5, -1)
+	b.Bne(isa.S5, isa.Zero, outer)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildMgrid is a 3D 7-point Jacobi relaxation (multigrid smoother).
+// Each cell reads six plane/row neighbors; plane-stride accesses miss.
+func buildMgrid(s Scale) *isa.Program {
+	n := pick3(s, 10, 32, 64)
+	iters := pick3(s, 1, 2, 20)
+	b := isa.NewBuilder("mgrid")
+	r := newPRNG(5)
+	cells := uint64(n * n * n)
+	src := b.AllocWords(cells)
+	dst := b.AllocWords(cells)
+	for i := uint64(0); i < cells; i += 5 {
+		b.SetF64(src+i*8, r.f64())
+	}
+	row := int32(n * 8)
+	plane := int32(n * n * 8)
+	interior := int32(n*n*n - 2*n*n)
+
+	b.Li(isa.S5, int32(iters))
+	outer := b.Here()
+	b.LiAddr(isa.S0, src+uint64(plane))
+	b.LiAddr(isa.S1, dst+uint64(plane))
+	b.Li(isa.S3, interior)
+	cell := b.Here()
+	b.Fld(isa.F0, isa.S0, -8)
+	b.Fld(isa.F1, isa.S0, 8)
+	b.Fld(isa.F2, isa.S0, -row)
+	b.Fld(isa.F3, isa.S0, row)
+	b.Fld(isa.F4, isa.S0, -plane)
+	b.Fld(isa.F5, isa.S0, plane)
+	b.Fadd(isa.F0, isa.F0, isa.F1)
+	b.Fadd(isa.F2, isa.F2, isa.F3)
+	b.Fadd(isa.F4, isa.F4, isa.F5)
+	b.Fadd(isa.F0, isa.F0, isa.F2)
+	b.Fadd(isa.F0, isa.F0, isa.F4)
+	b.Fld(isa.F6, isa.S0, 0)
+	b.Fmul(isa.F6, isa.F6, isa.F6) // extra dependent FP work per cell
+	b.Fadd(isa.F0, isa.F0, isa.F6)
+	b.Fmul(isa.F7, isa.F1, isa.F2) // 27-point weighting terms
+	b.Fadd(isa.F7, isa.F7, isa.F3)
+	b.Fmul(isa.F7, isa.F7, isa.F4)
+	b.Fadd(isa.F7, isa.F7, isa.F5)
+	b.Fmul(isa.F7, isa.F7, isa.F6)
+	b.Fadd(isa.F0, isa.F0, isa.F7)
+	b.Fmul(isa.F8, isa.F1, isa.F3) // residual/restriction terms
+	b.Fmul(isa.F9, isa.F2, isa.F4)
+	b.Fadd(isa.F8, isa.F8, isa.F9)
+	b.Fmul(isa.F10, isa.F5, isa.F6)
+	b.Fadd(isa.F8, isa.F8, isa.F10)
+	b.Fmul(isa.F11, isa.F8, isa.F8)
+	b.Fadd(isa.F12, isa.F11, isa.F1)
+	b.Fmul(isa.F12, isa.F12, isa.F2)
+	b.Fadd(isa.F0, isa.F0, isa.F12)
+	b.Fst(isa.F0, isa.S1, 0)
+	b.Addi(isa.S0, isa.S0, 8)
+	b.Addi(isa.S1, isa.S1, 8)
+	b.Addi(isa.S3, isa.S3, -1)
+	b.Bne(isa.S3, isa.Zero, cell)
+	b.Addi(isa.S5, isa.S5, -1)
+	b.Bne(isa.S5, isa.Zero, outer)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildArt scans a large weight matrix per category (adaptive-resonance
+// match phase): pure streaming dot products over a multi-megabyte array —
+// the highest miss ratio and the most memory-level parallelism in the
+// suite (the paper's art speeds up >5x with a 2K window).
+func buildArt(s Scale) *isa.Program {
+	cats := pick3(s, 4, 24, 64)
+	dim := pick3(s, 256, 8192, 16384)
+	b := isa.NewBuilder("art")
+	r := newPRNG(11)
+	w := b.AllocWords(uint64(cats * dim))
+	in := b.AllocWords(uint64(dim))
+	out := b.AllocWords(uint64(cats))
+	for i := 0; i < cats*dim; i += 4 {
+		b.SetF64(w+uint64(i)*8, r.f64())
+	}
+	for i := 0; i < dim; i += 2 {
+		b.SetF64(in+uint64(i)*8, r.f64())
+	}
+
+	b.LiAddr(isa.S0, w)
+	b.LiAddr(isa.S4, out)
+	b.Li(isa.S5, int32(cats))
+	cat := b.Here()
+	b.LiAddr(isa.S1, in)
+	b.Li(isa.S3, int32(dim/4))
+	fzero(b, isa.F0)
+	fzero(b, isa.F6)
+	elem := b.Here()
+	// 4-way unrolled dot product: independent misses fill the window.
+	b.Fld(isa.F1, isa.S0, 0)
+	b.Fld(isa.F2, isa.S1, 0)
+	b.Fmul(isa.F1, isa.F1, isa.F2)
+	b.Fadd(isa.F0, isa.F0, isa.F1)
+	b.Fld(isa.F3, isa.S0, 8)
+	b.Fld(isa.F4, isa.S1, 8)
+	b.Fmul(isa.F3, isa.F3, isa.F4)
+	b.Fadd(isa.F6, isa.F6, isa.F3)
+	b.Fld(isa.F1, isa.S0, 16)
+	b.Fld(isa.F2, isa.S1, 16)
+	b.Fmul(isa.F1, isa.F1, isa.F2)
+	b.Fadd(isa.F0, isa.F0, isa.F1)
+	b.Fld(isa.F3, isa.S0, 24)
+	b.Fld(isa.F4, isa.S1, 24)
+	b.Fmul(isa.F3, isa.F3, isa.F4)
+	b.Fadd(isa.F6, isa.F6, isa.F3)
+	b.Addi(isa.S0, isa.S0, 32)
+	b.Addi(isa.S1, isa.S1, 32)
+	b.Addi(isa.S3, isa.S3, -1)
+	b.Bne(isa.S3, isa.Zero, elem)
+	b.Fadd(isa.F0, isa.F0, isa.F6)
+	b.Fst(isa.F0, isa.S4, 0)
+	b.Addi(isa.S4, isa.S4, 8)
+	b.Addi(isa.S5, isa.S5, -1)
+	b.Bne(isa.S5, isa.Zero, cat)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildApplu is an SSOR-style lower-triangular solve: a first-order
+// recurrence along each line (x[i] depends on x[i-1]) with streaming
+// coefficient loads — serial FP chains interleaved with misses, so it
+// gains less than the streaming kernels.
+func buildApplu(s Scale) *isa.Program {
+	n := pick3(s, 512, 40000, 200000)
+	b := isa.NewBuilder("applu")
+	r := newPRNG(13)
+	lo := b.AllocWords(uint64(n))
+	rhs := b.AllocWords(uint64(n))
+	x := b.AllocWords(uint64(n))
+	for i := 0; i < n; i += 2 {
+		b.SetF64(lo+uint64(i)*8, r.f64()*0.5)
+		b.SetF64(rhs+uint64(i)*8, r.f64())
+	}
+	b.LiAddr(isa.S0, lo+8)
+	b.LiAddr(isa.S1, rhs+8)
+	b.LiAddr(isa.S2, x+8)
+	b.Li(isa.S3, int32(n-1))
+	fzero(b, isa.F0) // x[i-1]
+	loop := b.Here()
+	b.Fld(isa.F1, isa.S0, 0) // L coefficient (streaming miss)
+	b.Fld(isa.F2, isa.S1, 0) // rhs
+	b.Fmul(isa.F1, isa.F1, isa.F0)
+	b.Fsub(isa.F0, isa.F2, isa.F1) // x[i] = rhs - L*x[i-1]  (recurrence)
+	b.Fst(isa.F0, isa.S2, 0)
+	b.Addi(isa.S0, isa.S0, 8)
+	b.Addi(isa.S1, isa.S1, 8)
+	b.Addi(isa.S2, isa.S2, 8)
+	b.Addi(isa.S3, isa.S3, -1)
+	b.Bne(isa.S3, isa.Zero, loop)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildGalgel is a dense triple-loop matrix multiply (Galerkin FEM core):
+// good reuse in the inner loop keeps the miss ratio moderate, but the
+// working set still exceeds the L2.
+func buildGalgel(s Scale) *isa.Program {
+	n := pick3(s, 12, 88, 160)
+	b := isa.NewBuilder("galgel")
+	r := newPRNG(17)
+	a := b.AllocWords(uint64(n * n))
+	c := b.AllocWords(uint64(n * n))
+	d := b.AllocWords(uint64(n * n))
+	for i := 0; i < n*n; i += 3 {
+		b.SetF64(a+uint64(i)*8, r.f64())
+		b.SetF64(c+uint64(i)*8, r.f64())
+	}
+	// for i: for j: s=0; for k: s += A[i][k]*C[k][j]; D[i][j]=s
+	b.Li(isa.T3, int32(n*8)) // row stride
+	emitGalgelLoops(b, a, c, d, n)
+	return b.MustBuild()
+}
+
+func emitGalgelLoops(b *isa.Builder, a, c, d uint64, n int) {
+	b.LiAddr(isa.S0, a)
+	b.LiAddr(isa.S4, d)
+	b.Li(isa.S5, int32(n))
+	iLoop := b.Here()
+	b.LiAddr(isa.S1, c)
+	b.Li(isa.T5, int32(n))
+	jLoop := b.Here()
+	b.Mov(isa.T0, isa.S0)
+	b.Mov(isa.T1, isa.S1)
+	b.Li(isa.T2, int32(n))
+	fzero(b, isa.F0)
+	kLoop := b.Here()
+	b.Fld(isa.F1, isa.T0, 0)
+	b.Fld(isa.F2, isa.T1, 0)
+	b.Fmul(isa.F1, isa.F1, isa.F2)
+	b.Fadd(isa.F0, isa.F0, isa.F1)
+	b.Addi(isa.T0, isa.T0, 8)
+	b.Add(isa.T1, isa.T1, isa.T3)
+	b.Addi(isa.T2, isa.T2, -1)
+	b.Bne(isa.T2, isa.Zero, kLoop)
+	b.Fst(isa.F0, isa.S4, 0)
+	b.Addi(isa.S4, isa.S4, 8)
+	b.Addi(isa.S1, isa.S1, 8)
+	b.Addi(isa.T5, isa.T5, -1)
+	b.Bne(isa.T5, isa.Zero, jLoop)
+	b.Add(isa.S0, isa.S0, isa.T3)
+	b.Addi(isa.S5, isa.S5, -1)
+	b.Bne(isa.S5, isa.Zero, iLoop)
+	b.Halt()
+}
+
+// buildFacerec correlates an image with a small filter bank at strided
+// positions (gabor-style matching): windowed reuse with strided misses.
+func buildFacerec(s Scale) *isa.Program {
+	img := pick3(s, 32, 224, 512) // image edge
+	const f = 8                   // filter edge
+	stride := 4
+	b := isa.NewBuilder("facerec")
+	r := newPRNG(19)
+	im := b.AllocWords(uint64(img * img))
+	fl := b.AllocWords(f * f)
+	out := b.AllocWords(uint64((img / stride) * (img / stride)))
+	for i := 0; i < img*img; i += 3 {
+		b.SetF64(im+uint64(i)*8, r.f64())
+	}
+	for i := 0; i < f*f; i++ {
+		b.SetF64(fl+uint64(i)*8, r.f64()-0.5)
+	}
+	rowB := int32(img * 8)
+
+	positions := (img/stride - 2) * (img/stride - 2)
+	b.LiAddr(isa.S0, im)
+	b.LiAddr(isa.S4, out)
+	b.Li(isa.S5, int32(positions))
+	b.Li(isa.T3, rowB)
+	pos := b.Here()
+	b.Mov(isa.S1, isa.S0) // window row ptr
+	b.LiAddr(isa.S2, fl)  // filter ptr
+	b.Li(isa.S3, f)       // row count
+	fzero(b, isa.F0)
+	frow := b.Here()
+	for j := 0; j < f; j++ {
+		b.Fld(isa.F1, isa.S1, int32(j*8))
+		b.Fld(isa.F2, isa.S2, int32(j*8))
+		b.Fmul(isa.F3, isa.F1, isa.F2)
+		b.Fadd(isa.F0, isa.F0, isa.F3)
+		b.Fmul(isa.F4, isa.F1, isa.F1) // image energy (normalization)
+		b.Fadd(isa.F5, isa.F5, isa.F4)
+		b.Fmul(isa.F6, isa.F2, isa.F2) // filter energy
+		b.Fadd(isa.F7, isa.F7, isa.F6)
+	}
+	b.Add(isa.S1, isa.S1, isa.T3)
+	b.Addi(isa.S2, isa.S2, f*8)
+	b.Addi(isa.S3, isa.S3, -1)
+	b.Bne(isa.S3, isa.Zero, frow)
+	b.Fst(isa.F0, isa.S4, 0)
+	b.Addi(isa.S4, isa.S4, 8)
+	b.Addi(isa.S0, isa.S0, int32(stride*8))
+	b.Addi(isa.S5, isa.S5, -1)
+	b.Bne(isa.S5, isa.Zero, pos)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildWupwise multiplies complex matrices (lattice-QCD flavour):
+// interleaved re/im pairs, four multiplies and two adds per element pair.
+func buildWupwise(s Scale) *isa.Program {
+	n := pick3(s, 8, 56, 96) // complex matrix edge
+	b := isa.NewBuilder("wupwise")
+	r := newPRNG(23)
+	a := b.AllocWords(uint64(2 * n * n))
+	c := b.AllocWords(uint64(2 * n * n))
+	d := b.AllocWords(uint64(2 * n * n))
+	for i := 0; i < 2*n*n; i += 3 {
+		b.SetF64(a+uint64(i)*8, r.f64())
+		b.SetF64(c+uint64(i)*8, r.f64())
+	}
+	rowB := int32(2 * n * 8)
+
+	b.Li(isa.T3, rowB)
+	b.LiAddr(isa.S0, a)
+	b.LiAddr(isa.S4, d)
+	b.Li(isa.S5, int32(n))
+	iLoop := b.Here()
+	b.LiAddr(isa.S1, c)
+	b.Li(isa.T5, int32(n))
+	jLoop := b.Here()
+	b.Mov(isa.T0, isa.S0)
+	b.Mov(isa.T1, isa.S1)
+	b.Li(isa.T2, int32(n))
+	fzero(b, isa.F0) // re acc
+	fzero(b, isa.F1) // im acc
+	kLoop := b.Here()
+	b.Fld(isa.F2, isa.T0, 0) // a.re
+	b.Fld(isa.F3, isa.T0, 8) // a.im
+	b.Fld(isa.F4, isa.T1, 0) // c.re
+	b.Fld(isa.F5, isa.T1, 8) // c.im
+	b.Fmul(isa.F6, isa.F2, isa.F4)
+	b.Fmul(isa.F7, isa.F3, isa.F5)
+	b.Fsub(isa.F6, isa.F6, isa.F7)
+	b.Fadd(isa.F0, isa.F0, isa.F6)
+	b.Fmul(isa.F6, isa.F2, isa.F5)
+	b.Fmul(isa.F7, isa.F3, isa.F4)
+	b.Fadd(isa.F6, isa.F6, isa.F7)
+	b.Fadd(isa.F1, isa.F1, isa.F6)
+	b.Addi(isa.T0, isa.T0, 16)
+	b.Add(isa.T1, isa.T1, isa.T3)
+	b.Addi(isa.T2, isa.T2, -1)
+	b.Bne(isa.T2, isa.Zero, kLoop)
+	b.Fst(isa.F0, isa.S4, 0)
+	b.Fst(isa.F1, isa.S4, 8)
+	b.Addi(isa.S4, isa.S4, 16)
+	b.Addi(isa.S1, isa.S1, 16)
+	b.Addi(isa.T5, isa.T5, -1)
+	b.Bne(isa.T5, isa.Zero, jLoop)
+	b.Add(isa.S0, isa.S0, isa.T3)
+	b.Addi(isa.S5, isa.S5, -1)
+	b.Bne(isa.S5, isa.Zero, iLoop)
+	b.Halt()
+	return b.MustBuild()
+}

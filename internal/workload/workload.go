@@ -1,0 +1,151 @@
+// Package workload provides the benchmark kernels the evaluation runs:
+// synthetic stand-ins for the paper's SPEC CINT2000, SPEC CFP2000, and
+// Olden programs (see DESIGN.md §2 for the substitution rationale). Each
+// kernel is written against the isa.Builder API and reproduces the
+// characteristics that drive the paper's results for its namesake —
+// data-cache miss ratios, memory-level parallelism, branch behaviour, and
+// instruction mix. The Olden kernels are faithful reimplementations of
+// the original algorithms; the SPEC kernels are behavioural analogues.
+//
+// Kernels are parameterized by Scale: ScaleTest keeps runs tiny for unit
+// and golden-model tests; ScaleRun sizes working sets against the paper's
+// 32KB L1 / 256KB L2 hierarchy for the experiment harness; ScaleFull
+// approaches the paper's own footprints (slow — minutes per run).
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"largewindow/internal/isa"
+)
+
+// Suite identifies the benchmark suite a kernel stands in for.
+type Suite int
+
+// Benchmark suites used in the paper's evaluation.
+const (
+	SuiteInt Suite = iota
+	SuiteFP
+	SuiteOlden
+)
+
+func (s Suite) String() string {
+	switch s {
+	case SuiteInt:
+		return "SPEC-INT"
+	case SuiteFP:
+		return "SPEC-FP"
+	case SuiteOlden:
+		return "Olden"
+	default:
+		return fmt.Sprintf("suite%d", int(s))
+	}
+}
+
+// Scale selects the working-set / iteration sizing of a kernel.
+type Scale int
+
+// Kernel scales.
+const (
+	ScaleTest Scale = iota // seconds of simulation, for tests
+	ScaleRun               // experiment harness default
+	ScaleFull              // closest to the paper's footprints
+)
+
+// Spec describes one benchmark kernel.
+type Spec struct {
+	Name  string
+	Suite Suite
+	Build func(Scale) *isa.Program
+}
+
+var registry = map[string]Spec{}
+
+func register(name string, suite Suite, build func(Scale) *isa.Program) {
+	registry[name] = Spec{Name: name, Suite: suite, Build: build}
+}
+
+// All returns every kernel, ordered as the paper's tables list them
+// (integer, floating point, Olden; alphabetical within suite).
+func All() []Spec {
+	var out []Spec
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Suite != out[j].Suite {
+			return out[i].Suite < out[j].Suite
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// BySuite returns the kernels of one suite in table order.
+func BySuite(s Suite) []Spec {
+	var out []Spec
+	for _, sp := range All() {
+		if sp.Suite == s {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Get looks a kernel up by name.
+func Get(name string) (Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns all kernel names in table order.
+func Names() []string {
+	var out []string
+	for _, s := range All() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// prng is a deterministic xorshift64* generator used to lay out data
+// structures. Kernels must be bit-reproducible across runs.
+type prng struct{ s uint64 }
+
+func newPRNG(seed uint64) *prng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &prng{s: seed}
+}
+
+func (p *prng) next() uint64 {
+	p.s ^= p.s >> 12
+	p.s ^= p.s << 25
+	p.s ^= p.s >> 27
+	return p.s * 0x2545f4914f6cdd1d
+}
+
+func (p *prng) intn(n int) int { return int(p.next() % uint64(n)) }
+
+func (p *prng) f64() float64 { return float64(p.next()%(1<<20)) / float64(1<<20) }
+
+// shuffle permutes idx in place.
+func (p *prng) shuffle(idx []int) {
+	for i := len(idx) - 1; i > 0; i-- {
+		j := p.intn(i + 1)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+}
+
+// pick3 returns scale-dependent sizing.
+func pick3[T any](s Scale, test, run, full T) T {
+	switch s {
+	case ScaleTest:
+		return test
+	case ScaleFull:
+		return full
+	default:
+		return run
+	}
+}

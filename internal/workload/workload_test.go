@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"testing"
+
+	"largewindow/internal/emu"
+	"largewindow/internal/isa"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := map[Suite][]string{
+		SuiteInt:   {"bzip2", "gcc", "gzip", "parser", "perlbmk", "vortex", "vpr"},
+		SuiteFP:    {"applu", "art", "facerec", "galgel", "mgrid", "swim", "wupwise"},
+		SuiteOlden: {"em3d", "mst", "perimeter", "treeadd"},
+	}
+	total := 0
+	for suite, names := range want {
+		got := BySuite(suite)
+		if len(got) != len(names) {
+			t.Fatalf("%v: %d kernels, want %d", suite, len(got), len(names))
+		}
+		for i, n := range names {
+			if got[i].Name != n {
+				t.Errorf("%v[%d] = %s, want %s", suite, i, got[i].Name, n)
+			}
+		}
+		total += len(names)
+	}
+	if len(All()) != total {
+		t.Errorf("All() = %d, want %d", len(All()), total)
+	}
+	if len(Names()) != total {
+		t.Errorf("Names() = %d", len(Names()))
+	}
+	if _, ok := Get("art"); !ok {
+		t.Error("Get(art) failed")
+	}
+	if _, ok := Get("nope"); ok {
+		t.Error("Get(nope) succeeded")
+	}
+}
+
+// TestKernelsTerminate runs every kernel at test scale on the emulator:
+// they must build, run to Halt within budget, and be deterministic.
+func TestKernelsTerminate(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := spec.Build(ScaleTest)
+			m1 := emu.New(prog)
+			n, err := m1.Run(30_000_000)
+			if err != nil {
+				t.Fatalf("%s did not halt: %v (after %d instrs)", spec.Name, err, n)
+			}
+			if n < 1000 {
+				t.Errorf("%s ran only %d instructions at test scale", spec.Name, n)
+			}
+			m2 := emu.New(spec.Build(ScaleTest))
+			if _, err := m2.Run(30_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if m1.Snapshot() != m2.Snapshot() {
+				t.Errorf("%s is not deterministic", spec.Name)
+			}
+		})
+	}
+}
+
+// TestKernelSuiteCharacter checks the coarse instruction-mix properties
+// each suite must have for the evaluation's shape to be meaningful.
+func TestKernelSuiteCharacter(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := spec.Build(ScaleTest)
+			m := emu.New(prog)
+			if _, err := m.Run(30_000_000); err != nil {
+				t.Fatal(err)
+			}
+			loads := m.ClassMix[isa.ClassLoad]
+			fp := m.ClassMix[isa.ClassFPAdd] + m.ClassMix[isa.ClassFPMult] +
+				m.ClassMix[isa.ClassFPDiv] + m.ClassMix[isa.ClassFPSqrt]
+			if loads == 0 {
+				t.Errorf("%s performs no loads", spec.Name)
+			}
+			switch spec.Suite {
+			case SuiteFP:
+				if fp == 0 {
+					t.Errorf("FP kernel %s has no FP operations", spec.Name)
+				}
+			case SuiteInt, SuiteOlden:
+				if fp > m.InstrCount/4 && spec.Name != "em3d" {
+					t.Errorf("integer kernel %s is %d%% FP", spec.Name, 100*fp/m.InstrCount)
+				}
+			}
+			if m.CondCount == 0 {
+				t.Errorf("%s has no conditional branches", spec.Name)
+			}
+		})
+	}
+}
+
+func TestScalesDiffer(t *testing.T) {
+	small := buildArt(ScaleTest)
+	large := buildArt(ScaleRun)
+	if len(large.Data) <= len(small.Data) {
+		t.Error("run scale not larger than test scale")
+	}
+}
+
+func TestSuiteString(t *testing.T) {
+	if SuiteInt.String() != "SPEC-INT" || SuiteFP.String() != "SPEC-FP" ||
+		SuiteOlden.String() != "Olden" || Suite(9).String() != "suite9" {
+		t.Error("suite names wrong")
+	}
+}
+
+func TestPRNGDeterministic(t *testing.T) {
+	a, b := newPRNG(5), newPRNG(5)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("prng not deterministic")
+		}
+	}
+	z := newPRNG(0)
+	if z.next() == 0 {
+		t.Error("zero seed not remapped")
+	}
+}

@@ -1,0 +1,142 @@
+// Package largewindow is a cycle-level reproduction of Lebeck, Koppanalil,
+// Li, Patwardhan & Rotenberg, "A Large, Fast Instruction Window for
+// Tolerating Cache Misses" (ISCA 2002): an 8-wide out-of-order processor
+// model in the style of the Alpha 21264 whose small issue queues are
+// augmented with a Waiting Instruction Buffer (WIB) that parks the
+// dependence chains of load cache misses until the miss resolves.
+//
+// The package is a thin facade over the implementation packages:
+//
+//	internal/isa       instruction set, assembler/builder, memory image
+//	internal/emu       architectural (functional) emulator
+//	internal/mem       caches, TLB, DRAM timing
+//	internal/bpred     branch prediction (combined bimodal + two-level)
+//	internal/regfile   single- and two-level register file timing
+//	internal/core      the out-of-order pipeline and the WIB
+//	internal/workload  the 18 benchmark kernels of the evaluation
+//	internal/harness   the paper's experiments (Figures 1,4-7; Table 2; §4)
+//
+// Quick start:
+//
+//	prog := largewindow.Benchmark("art", largewindow.ScaleTest)
+//	base, _ := largewindow.Simulate(largewindow.BaseConfig(), prog, 0)
+//	wib, _ := largewindow.Simulate(largewindow.WIBConfig(), prog, 0)
+//	fmt.Printf("speedup %.2fx\n", wib.IPC()/base.IPC())
+package largewindow
+
+import (
+	"errors"
+	"fmt"
+
+	"largewindow/internal/core"
+	"largewindow/internal/emu"
+	"largewindow/internal/isa"
+	"largewindow/internal/workload"
+)
+
+// Re-exported configuration and statistics types.
+type (
+	// Config describes a processor configuration (see core.Config).
+	Config = core.Config
+	// Stats holds the counters a simulation produces.
+	Stats = core.Stats
+	// Program is an executable kernel image.
+	Program = isa.Program
+	// Builder assembles new programs.
+	Builder = isa.Builder
+	// Scale selects benchmark working-set sizing.
+	Scale = workload.Scale
+)
+
+// Benchmark scales.
+const (
+	ScaleTest = workload.ScaleTest
+	ScaleRun  = workload.ScaleRun
+	ScaleFull = workload.ScaleFull
+)
+
+// BaseConfig returns the paper's base machine: 32-entry issue queues and
+// a 128-entry active list with single-cycle registers (Table 1).
+func BaseConfig() Config { return core.DefaultConfig() }
+
+// WIBConfig returns the paper's principal WIB machine: base issue queues
+// plus a 2K-entry banked WIB and a two-level register file.
+func WIBConfig() Config { return core.WIBDefault() }
+
+// WIBConfigSized returns a WIB machine with a given capacity and
+// bit-vector (outstanding load miss) limit; 0 means unlimited.
+func WIBConfigSized(entries, bitVectors int) Config {
+	return core.WIBConfigSized(entries, bitVectors)
+}
+
+// ScaledConfig returns a conventional machine with the given issue-queue
+// and active-list sizes (the paper's limit-study configurations).
+func ScaledConfig(issueQueue, activeList int) Config {
+	return core.ScaledConfig(issueQueue, activeList)
+}
+
+// NewBuilder starts a new program.
+func NewBuilder(name string) *Builder { return isa.NewBuilder(name) }
+
+// Benchmark builds one of the evaluation kernels by name ("art",
+// "treeadd", ...; see BenchmarkNames). It panics on unknown names so the
+// quick-start path stays one line; use workload.Get for error handling.
+func Benchmark(name string, scale Scale) *Program {
+	spec, ok := workload.Get(name)
+	if !ok {
+		panic(fmt.Sprintf("largewindow: unknown benchmark %q", name))
+	}
+	return spec.Build(scale)
+}
+
+// BenchmarkNames lists the evaluation kernels in the paper's table order.
+func BenchmarkNames() []string { return workload.Names() }
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Stats Stats
+	// Derived memory-system ratios.
+	DL1MissRatio     float64
+	L2LocalMissRatio float64
+	TLBMissRatio     float64
+	// Halted reports whether the program ran to completion (as opposed to
+	// exhausting the instruction budget, which is the normal way the
+	// evaluation samples long kernels).
+	Halted bool
+}
+
+// IPC returns committed instructions per cycle.
+func (r *Result) IPC() float64 { return r.Stats.IPC }
+
+// Simulate runs prog on the given configuration until it halts or commits
+// maxInstr instructions (0 = run to completion).
+func Simulate(cfg Config, prog *Program, maxInstr uint64) (*Result, error) {
+	p, err := core.New(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	st, err := p.Run(maxInstr, 0)
+	halted := err == nil
+	if err != nil && !errors.Is(err, core.ErrBudget) {
+		return nil, err
+	}
+	h := p.Hierarchy()
+	return &Result{
+		Stats:            *st,
+		DL1MissRatio:     h.L1DStats().MissRatio(),
+		L2LocalMissRatio: h.L2Stats().MissRatio(),
+		TLBMissRatio:     h.TLBMissRatio(),
+		Halted:           halted,
+	}, nil
+}
+
+// Emulate runs prog on the architectural emulator (no timing) and returns
+// the final state — the reference a Simulate run of the same program must
+// match.
+func Emulate(prog *Program, maxInstr uint64) (emu.State, error) {
+	m := emu.New(prog)
+	if _, err := m.Run(maxInstr); err != nil {
+		return emu.State{}, err
+	}
+	return m.Snapshot(), nil
+}

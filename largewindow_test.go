@@ -1,0 +1,106 @@
+package largewindow
+
+import (
+	"testing"
+
+	"largewindow/internal/isa"
+)
+
+func tinyProgram(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder("tiny")
+	b.Li(isa.T0, 0)
+	b.Loop(isa.T1, 100, func() {
+		b.Addi(isa.T0, isa.T0, 2)
+	})
+	b.Mov(isa.A0, isa.T0)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSimulateMatchesEmulate(t *testing.T) {
+	prog := tinyProgram(t)
+	ref, err := Emulate(prog, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.IntReg[isa.A0] != 200 {
+		t.Errorf("emulated A0 = %d", ref.IntReg[isa.A0])
+	}
+	res, err := Simulate(BaseConfig(), prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Error("program did not halt")
+	}
+	if res.Stats.Committed != ref.InstrCount {
+		t.Errorf("committed %d, emulated %d", res.Stats.Committed, ref.InstrCount)
+	}
+	if res.Stats.StreamHash != ref.StreamHash {
+		t.Error("stream hash mismatch")
+	}
+}
+
+func TestSimulateBudget(t *testing.T) {
+	prog := Benchmark("gzip", ScaleTest)
+	res, err := Simulate(BaseConfig(), prog, 2_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Error("budgeted run reported halted")
+	}
+	if res.Stats.Committed < 2_000 {
+		t.Errorf("committed %d < budget", res.Stats.Committed)
+	}
+}
+
+func TestBenchmarkNames(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 18 {
+		t.Fatalf("benchmarks = %d, want 18", len(names))
+	}
+	for _, n := range names {
+		if Benchmark(n, ScaleTest) == nil {
+			t.Errorf("benchmark %s nil", n)
+		}
+	}
+}
+
+func TestBenchmarkUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for unknown benchmark")
+		}
+	}()
+	Benchmark("nope", ScaleTest)
+}
+
+func TestConfigConstructors(t *testing.T) {
+	for _, cfg := range []Config{
+		BaseConfig(), WIBConfig(), WIBConfigSized(512, 16), ScaledConfig(64, 128),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", cfg.Name, err)
+		}
+	}
+	if WIBConfig().WIB == nil {
+		t.Error("WIBConfig has no WIB")
+	}
+	if BaseConfig().WIB != nil {
+		t.Error("BaseConfig has a WIB")
+	}
+}
+
+func TestSimulateRejectsBadConfig(t *testing.T) {
+	cfg := BaseConfig()
+	cfg.ActiveList = -1
+	if _, err := Simulate(cfg, tinyProgram(t), 0); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
