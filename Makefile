@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test check bench experiments
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Pre-merge gate: vet + build + race-enabled tests + fault-campaign smoke.
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+experiments:
+	$(GO) run ./cmd/experiments -run all

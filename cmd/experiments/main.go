@@ -6,15 +6,24 @@
 //
 //	experiments [-run fig1,table2,fig4,fig5,fig6,policy,fig7,sens|all]
 //	            [-instr N] [-bench a,b,c] [-scale test|run|full] [-v]
+//	            [-deadline 2m] [-crash-dump dir]
+//
+// A failing (benchmark × configuration) cell does not abort the sweep:
+// the remaining cells still run, a failure-summary table is printed at
+// the end, and -crash-dump writes each failure's structured JSON dump
+// into the given directory for replay with `wibtrace -replay`.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"largewindow/internal/core"
 	"largewindow/internal/harness"
 	"largewindow/internal/workload"
 )
@@ -28,6 +37,9 @@ func main() {
 		scale   = flag.String("scale", "run", "kernel scale: test, run, or full")
 		par     = flag.Int("parallel", 0, "concurrent simulations (default GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "log each simulation run")
+
+		deadline  = flag.Duration("deadline", 0, "wall-clock limit per simulation (0 = none)")
+		crashDump = flag.String("crash-dump", "", "directory for per-failure JSON crash dumps")
 	)
 	flag.Parse()
 
@@ -50,9 +62,10 @@ func main() {
 		os.Exit(2)
 	}
 	opt := harness.Options{
-		MaxInstr: *instr,
-		Scale:    sc,
-		Parallel: *par,
+		MaxInstr:    *instr,
+		Scale:       sc,
+		Parallel:    *par,
+		RunDeadline: *deadline,
 	}
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
@@ -65,8 +78,48 @@ func main() {
 
 	s := harness.NewSession(opt)
 	ids := strings.Split(*runIDs, ",")
-	if err := harness.RunExperiments(s, ids, os.Stdout); err != nil {
+	err := harness.RunExperiments(s, ids, os.Stdout)
+	if fails := s.Failures(); len(fails) > 0 {
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprint(os.Stderr, s.FailureSummary())
+		writeCrashDumps(*crashDump, fails)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// writeCrashDumps saves each failed cell's structured error under dir as
+// <config>-<bench>.json; a missing dir is a no-op.
+func writeCrashDumps(dir string, fails []*harness.Result) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "crash-dump dir: %v\n", err)
+		return
+	}
+	for _, f := range fails {
+		var se *core.SimError
+		if !errors.As(f.Err, &se) {
+			continue // panic without machine state: nothing replayable
+		}
+		data, err := se.JSON()
+		if err != nil {
+			continue
+		}
+		name := strings.Map(func(r rune) rune {
+			if r == '/' || r == ' ' {
+				return '_'
+			}
+			return r
+		}, f.Config+"-"+f.Bench) + ".json"
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "crash dump written to %s (replay with: wibtrace -replay %s)\n", path, path)
 	}
 }

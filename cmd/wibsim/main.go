@@ -6,10 +6,16 @@
 //
 //	wibsim -bench art [-config base|wib|iq2k|wib256] [-instr N]
 //	       [-wib-entries N] [-bitvectors N] [-policy banked|program-order|rr-load|oldest-load]
-//	       [-mem-latency N] [-dump]
+//	       [-mem-latency N] [-dump] [-deadline 30s] [-crash-dump crash.json]
+//	       [-watchdog N] [-lockstep]
+//
+// A failed run (invariant violation, deadlock, oracle divergence, or
+// deadline) exits 1 after printing the structured error; -crash-dump
+// writes its JSON form for offline replay with `wibtrace -replay`.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -33,6 +39,11 @@ func main() {
 		memLat  = flag.Int64("mem-latency", 250, "main memory latency in cycles")
 		dump    = flag.Bool("dump", false, "dump pipeline state after the run")
 		ptrace  = flag.Int("pipetrace", 0, "record and print the lifecycle of the last N instructions")
+
+		deadline  = flag.Duration("deadline", 0, "wall-clock limit for the run (0 = none)")
+		crashDump = flag.String("crash-dump", "", "on failure, write the structured error as JSON to this file")
+		watchdog  = flag.Int64("watchdog", 0, "deadlock watchdog threshold in cycles (0 = default 1M, negative = off)")
+		lockstep  = flag.Bool("lockstep", false, "cross-check every commit against the functional emulator (slow)")
 	)
 	flag.Parse()
 
@@ -88,6 +99,8 @@ func main() {
 	}
 	cfg.Mem.MemLatency = *memLat
 	cfg.TraceCapacity = *ptrace
+	cfg.DeadlockCycles = *watchdog
+	cfg.LockstepOracle = *lockstep
 
 	prog := spec.Build(sc)
 	p, err := core.New(cfg, prog)
@@ -95,9 +108,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	st, err := p.Run(*instr, *cycles)
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	st, err := p.RunContext(ctx, *instr, *cycles)
 	if err != nil && !errors.Is(err, core.ErrBudget) {
 		fmt.Fprintln(os.Stderr, err)
+		var se *core.SimError
+		if errors.As(err, &se) {
+			se.Bench = spec.Name
+			se.Scale = *scale
+			writeCrashDump(*crashDump, se)
+		}
 		if *dump {
 			fmt.Fprintln(os.Stderr, p.DebugDump(20))
 		}
@@ -131,4 +156,22 @@ func main() {
 		fmt.Println()
 		core.WriteTimeline(os.Stdout, p.Traces())
 	}
+}
+
+// writeCrashDump saves a structured failure as JSON (replayable with
+// `wibtrace -replay`); a missing path is a no-op.
+func writeCrashDump(path string, se *core.SimError) {
+	if path == "" {
+		return
+	}
+	data, err := se.JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "encoding crash dump: %v\n", err)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "writing crash dump: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "crash dump written to %s (replay with: wibtrace -replay %s)\n", path, path)
 }

@@ -2,6 +2,11 @@
 // reports its architectural profile (instruction mix, branch behaviour,
 // memory footprint), optionally disassembling the kernel or tracing the
 // first N executed instructions. It is the debugging companion to wibsim.
+//
+// With -replay it instead decodes a JSON crash dump written by wibsim or
+// experiments (-crash-dump) and pretty-prints the structured failure:
+// kind, cycle, stalled instruction, the recent-event ring, the pipeline
+// dump, and the code around the failing PC.
 package main
 
 import (
@@ -10,6 +15,7 @@ import (
 	"os"
 	"sort"
 
+	"largewindow/internal/core"
 	"largewindow/internal/emu"
 	"largewindow/internal/isa"
 	"largewindow/internal/workload"
@@ -22,8 +28,17 @@ func main() {
 		instr  = flag.Uint64("instr", 10_000_000, "instruction budget")
 		disasm = flag.Bool("disasm", false, "print the kernel's code and exit")
 		trace  = flag.Uint64("trace", 0, "print the first N executed instructions")
+		replay = flag.String("replay", "", "decode and print a JSON crash dump, then exit")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		if err := replayDump(*replay); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	spec, ok := workload.Get(*bench)
 	if !ok {
@@ -90,4 +105,87 @@ func max(a, b uint64) uint64 {
 		return a
 	}
 	return b
+}
+
+// replayDump decodes a crash dump written by `wibsim -crash-dump` or
+// `experiments -crash-dump` and prints everything a post-mortem needs.
+func replayDump(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	se, err := core.DecodeSimError(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("crash dump        %s\n", path)
+	fmt.Printf("kind              %s\n", se.Kind)
+	fmt.Printf("message           %s\n", se.Msg)
+	fmt.Printf("cycle             %d\n", se.Cycle)
+	fmt.Printf("committed         %d instructions\n", se.Committed)
+	fmt.Printf("configuration     %s\n", se.Config)
+	if se.Bench != "" {
+		fmt.Printf("benchmark         %s (scale %s)\n", se.Bench, se.Scale)
+	}
+	if se.Seq != 0 {
+		fmt.Printf("instruction       seq %d, pc %d\n", se.Seq, se.PC)
+	}
+	if se.Transient {
+		fmt.Printf("transient         yes (environmental; retry before debugging)\n")
+	}
+	if st := se.Stall; st != nil {
+		fmt.Printf("stalled head      rob=%d seq=%d pc=%d %s\n", st.ROB, st.Seq, st.PC, st.Instr)
+		fmt.Printf("  stage           %s\n", st.Stage)
+		fmt.Printf("  waiting on      %s\n", st.Reason)
+	}
+	if len(se.Events) > 0 {
+		fmt.Printf("\nrecent pipeline events (oldest first):\n")
+		for _, ev := range se.Events {
+			fmt.Printf("  %s\n", ev)
+		}
+	}
+	// The dump names the benchmark: disassemble around the failing PC so
+	// the post-mortem shows the code, not just an address.
+	if spec, ok := workload.Get(se.Bench); ok && (se.PC != 0 || se.Stall != nil) {
+		pc := se.PC
+		if pc == 0 && se.Stall != nil {
+			pc = se.Stall.PC
+		}
+		sc := workload.ScaleRun
+		switch se.Scale {
+		case "test":
+			sc = workload.ScaleTest
+		case "full":
+			sc = workload.ScaleFull
+		}
+		prog := spec.Build(sc)
+		if pc < uint64(len(prog.Code)) {
+			lo := uint64(0)
+			if pc > 10 {
+				lo = pc - 10
+			}
+			hi := pc + 10
+			if hi >= uint64(len(prog.Code)) {
+				hi = uint64(len(prog.Code)) - 1
+			}
+			fmt.Printf("\ncode around pc %d:\n", pc)
+			for a := lo; a <= hi; a++ {
+				marker := "  "
+				if a == pc {
+					marker = "=>"
+				}
+				fmt.Printf("  %s %5d: %s\n", marker, a, isa.Disassemble(prog.Code[a]))
+			}
+		}
+	}
+	if se.Dump != "" {
+		fmt.Printf("\npipeline state at failure:\n%s\n", se.Dump)
+	}
+	if se.Stack != "" {
+		fmt.Printf("\ngoroutine stack (untyped panic):\n%s\n", se.Stack)
+	}
+	if se.Bench != "" {
+		fmt.Printf("\nreproduce with:\n  wibsim -bench %s -scale %s -lockstep -dump\n", se.Bench, se.Scale)
+	}
+	return nil
 }

@@ -199,6 +199,17 @@ type Config struct {
 	// conservation). Slow; used by the test suite.
 	Debug bool
 
+	// DeadlockCycles is the forward-progress watchdog threshold: a run
+	// aborts with a structured deadlock report when no instruction commits
+	// for this many cycles while work is in flight. 0 selects the default
+	// (1M cycles); negative disables the watchdog entirely.
+	DeadlockCycles int64
+
+	// LockstepOracle steps the functional emulator alongside commit and
+	// cross-checks every committed PC and destination value. Slow; used by
+	// the test suite and the fault-injection campaign.
+	LockstepOracle bool
+
 	// TraceCapacity, when positive, records the lifecycle of the last N
 	// instructions (fetch/dispatch/issue/complete/commit cycles and WIB
 	// trips), retrievable via Processor.Traces.

@@ -55,3 +55,7 @@ func (q *eventQueue) nextCycle() int64 {
 }
 
 func (q *eventQueue) len() int { return len(q.h) }
+
+// drop removes the i-th heap element (used by fault injection to model a
+// lost completion wakeup).
+func (q *eventQueue) drop(i int) { heap.Remove(&q.h, i) }

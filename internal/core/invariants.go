@@ -1,11 +1,10 @@
 package core
 
-import "fmt"
-
 // checkInvariants validates the machine's structural bookkeeping. It is
 // O(active list + registers) and runs every cycle when Config.Debug is
 // set, so tests can assert that no cycle ever corrupts state. Violations
-// panic — they are simulator bugs, never program behaviour.
+// raise typed SimPanics — they are simulator bugs, never program
+// behaviour — which Processor.Run recovers into structured SimErrors.
 func (p *Processor) checkInvariants() {
 	// Physical register accounting: every register is exactly one of
 	// {architecturally mapped, allocated in flight, free}.
@@ -19,7 +18,7 @@ func (p *Processor) checkInvariants() {
 	for i := int32(0); i < p.robCount; i++ {
 		e := &p.rob[(p.robHead+i)%size]
 		if e.stage == stFree {
-			panic(fmt.Sprintf("core: live ROB entry %d is stFree (seq %d)", (p.robHead+i)%size, e.seq))
+			throw(KindROBFreeEntry, e.seq, "live ROB entry %d is stFree (seq %d)", (p.robHead+i)%size, e.seq)
 		}
 		switch e.stage {
 		case stWaiting, stRequest:
@@ -39,19 +38,33 @@ func (p *Processor) checkInvariants() {
 		}
 	}
 	if intQ != p.intIQ.count {
-		panic(fmt.Sprintf("core: int IQ count %d, entries say %d", p.intIQ.count, intQ))
+		throw(KindIQCount, 0, "int IQ count %d, entries say %d", p.intIQ.count, intQ)
 	}
 	if fpQ != p.fpIQ.count {
-		panic(fmt.Sprintf("core: fp IQ count %d, entries say %d", p.fpIQ.count, fpQ))
+		throw(KindIQCount, 0, "fp IQ count %d, entries say %d", p.fpIQ.count, fpQ)
 	}
 	if p.wib != nil && parked != p.wib.occupancy {
-		panic(fmt.Sprintf("core: WIB occupancy %d, entries say %d", p.wib.occupancy, parked))
+		throw(KindWIBOccupancy, 0, "WIB occupancy %d, entries say %d", p.wib.occupancy, parked)
 	}
 	if loads != p.lsq.lqCount {
-		panic(fmt.Sprintf("core: LQ count %d, entries say %d", p.lsq.lqCount, loads))
+		throw(KindLQCount, 0, "LQ count %d, entries say %d", p.lsq.lqCount, loads)
 	}
 	if stores != p.lsq.sqCount {
-		panic(fmt.Sprintf("core: SQ count %d, entries say %d", p.lsq.sqCount, stores))
+		throw(KindSQCount, 0, "SQ count %d, entries say %d", p.lsq.sqCount, stores)
+	}
+	if p.wib != nil {
+		// Bit-vector conservation: every column is either active or on the
+		// free list — a column in neither state has leaked.
+		active := 0
+		for c := range p.wib.cols {
+			if p.wib.cols[c].active {
+				active++
+			}
+		}
+		if active+len(p.wib.free) != len(p.wib.cols) {
+			throw(KindWIBColumns, 0, "bit-vector columns leaked: active %d + free %d != %d",
+				active, len(p.wib.free), len(p.wib.cols))
+		}
 	}
 	if p.wib != nil && p.wib.cfg.Org == OrgPoolOfBlocks {
 		used := 0
@@ -59,8 +72,8 @@ func (p *Processor) checkInvariants() {
 			used += p.wib.colBlocks[c]
 		}
 		if used+p.wib.poolFree != p.wib.cfg.Blocks {
-			panic(fmt.Sprintf("core: pool blocks leaked: used %d + free %d != %d",
-				used, p.wib.poolFree, p.wib.cfg.Blocks))
+			throw(KindPoolLeak, 0, "pool blocks leaked: used %d + free %d != %d",
+				used, p.wib.poolFree, p.wib.cfg.Blocks)
 		}
 	}
 }
@@ -75,13 +88,13 @@ func (p *Processor) checkRegSpace(fp bool, free []int32, specMap *[32]int32) {
 	seen := make([]uint8, total)
 	for _, r := range free {
 		if seen[r] != 0 {
-			panic(fmt.Sprintf("core: phys reg %d (fp=%v) on the free list twice", r, fp))
+			throw(KindFreeListDouble, 0, "phys reg %d (fp=%v) on the free list twice", r, fp)
 		}
 		seen[r] = 1
 	}
 	for a, r := range specMap {
 		if seen[r] == 1 {
-			panic(fmt.Sprintf("core: arch %d maps to FREE phys %d (fp=%v)", a, r, fp))
+			throw(KindMapToFree, 0, "arch %d maps to FREE phys %d (fp=%v)", a, r, fp)
 		}
 		seen[r] |= 2
 	}
@@ -91,7 +104,7 @@ func (p *Processor) checkRegSpace(fp bool, free []int32, specMap *[32]int32) {
 		e := &p.rob[(p.robHead+i)%size]
 		if e.newPhys != noReg && e.destFP == fp {
 			if seen[e.newPhys] == 1 {
-				panic(fmt.Sprintf("core: in-flight dest phys %d (fp=%v, seq %d) is on the free list", e.newPhys, fp, e.seq))
+				throw(KindInFlightFree, e.seq, "in-flight dest phys %d (fp=%v, seq %d) is on the free list", e.newPhys, fp, e.seq)
 			}
 			seen[e.newPhys] |= 4
 		}

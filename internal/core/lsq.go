@@ -47,9 +47,15 @@ func newLSQ(loads, stores int) *lsq {
 func (l *lsq) loadFull() bool  { return l.lqCount == len(l.lq) }
 func (l *lsq) storeFull() bool { return l.sqCount == len(l.sq) }
 
-// allocLoad reserves the next load-queue slot in program order.
+// allocLoad reserves the next load-queue slot in program order. Dispatch
+// checks loadFull first, so an allocation into an occupied slot is a
+// bookkeeping bug.
 func (l *lsq) allocLoad(rob int32, seq uint64) int32 {
 	idx := l.lqTail
+	if l.lqCount >= len(l.lq) || l.lq[idx].valid {
+		throw(KindLSQOverflow, seq, "load queue overflow: alloc seq %d into slot %d (count %d/%d, valid=%v)",
+			seq, idx, l.lqCount, len(l.lq), l.lq[idx].valid)
+	}
 	l.lq[idx] = lqEntry{rob: rob, seq: seq, valid: true}
 	l.lqTail = (l.lqTail + 1) % int32(len(l.lq))
 	l.lqCount++
@@ -59,6 +65,10 @@ func (l *lsq) allocLoad(rob int32, seq uint64) int32 {
 // allocStore reserves the next store-queue slot in program order.
 func (l *lsq) allocStore(rob int32, seq uint64) int32 {
 	idx := l.sqTail
+	if l.sqCount >= len(l.sq) || l.sq[idx].valid {
+		throw(KindLSQOverflow, seq, "store queue overflow: alloc seq %d into slot %d (count %d/%d, valid=%v)",
+			seq, idx, l.sqCount, len(l.sq), l.sq[idx].valid)
+	}
 	l.sq[idx] = sqEntry{rob: rob, seq: seq, valid: true}
 	l.sqTail = (l.sqTail + 1) % int32(len(l.sq))
 	l.sqCount++
@@ -70,6 +80,9 @@ func (l *lsq) store(i int32) *sqEntry { return &l.sq[i] }
 
 // releaseLoad frees the head load slot at commit.
 func (l *lsq) releaseLoad(i int32) {
+	if !l.lq[i].valid {
+		throw(KindLSQDoubleFree, l.lq[i].seq, "releasing invalid load-queue slot %d", i)
+	}
 	l.lq[i].valid = false
 	l.lqHead = (l.lqHead + 1) % int32(len(l.lq))
 	l.lqCount--
@@ -77,6 +90,9 @@ func (l *lsq) releaseLoad(i int32) {
 
 // releaseStore frees the head store slot at commit.
 func (l *lsq) releaseStore(i int32) {
+	if !l.sq[i].valid {
+		throw(KindLSQDoubleFree, l.sq[i].seq, "releasing invalid store-queue slot %d", i)
+	}
 	l.sq[i].valid = false
 	l.sqHead = (l.sqHead + 1) % int32(len(l.sq))
 	l.sqCount--
@@ -85,6 +101,9 @@ func (l *lsq) releaseStore(i int32) {
 // squashLoad rolls the tail back over a squashed load (youngest-first
 // walk).
 func (l *lsq) squashLoad(i int32) {
+	if !l.lq[i].valid {
+		throw(KindLSQDoubleFree, l.lq[i].seq, "squashing invalid load-queue slot %d", i)
+	}
 	l.lq[i].valid = false
 	l.lqTail = i
 	l.lqCount--
@@ -92,6 +111,9 @@ func (l *lsq) squashLoad(i int32) {
 
 // squashStore rolls the tail back over a squashed store.
 func (l *lsq) squashStore(i int32) {
+	if !l.sq[i].valid {
+		throw(KindLSQDoubleFree, l.sq[i].seq, "squashing invalid store-queue slot %d", i)
+	}
 	l.sq[i].valid = false
 	l.sqTail = i
 	l.sqCount--

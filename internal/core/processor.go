@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"errors"
-	"fmt"
 
 	"largewindow/internal/bpred"
 	"largewindow/internal/emu"
@@ -77,6 +77,7 @@ type physReg struct {
 	value   uint64
 	ready   bool
 	wait    bool
+	free    bool // on a free list (double-free detection)
 	col     int32
 	colGen  uint64
 	waiters []waiter
@@ -144,6 +145,16 @@ type Processor struct {
 
 	tracer *tracer // nil unless Config.TraceCapacity > 0
 
+	// oracle is the lockstep architectural emulator (Config.LockstepOracle):
+	// every committed instruction is stepped and compared, so a timing-core
+	// bug that corrupts architectural state is caught at the first wrong
+	// commit instead of at end-of-run.
+	oracle *emu.Machine
+
+	// ring records recent low-frequency pipeline events (recoveries,
+	// replays, evictions, fault injections) for crash dumps.
+	ring eventRing
+
 	now     int64
 	halted  bool
 	haltSeq uint64 // seq of the committed Halt
@@ -209,9 +220,11 @@ func New(cfg Config, prog *isa.Program) (*Processor, error) {
 	}
 	for r := isa.NumRegs; r < cfg.IntRegs; r++ {
 		p.intFree = append(p.intFree, int32(r))
+		p.intPR[r].free = true
 	}
 	for r := isa.NumRegs; r < cfg.FPRegs; r++ {
 		p.fpFree = append(p.fpFree, int32(r))
+		p.fpPR[r].free = true
 	}
 	p.intPR[p.intMap[isa.SP]].value = prog.StackTop
 	p.intPR[p.intMap[isa.GP]].value = prog.DataBase
@@ -221,6 +234,9 @@ func New(cfg Config, prog *isa.Program) (*Processor, error) {
 	}
 	if cfg.TraceCapacity > 0 {
 		p.tracer = newTracer(cfg.TraceCapacity)
+	}
+	if cfg.LockstepOracle {
+		p.oracle = emu.New(prog)
 	}
 	p.fetchPC = prog.Entry
 	p.rob[0].seq = 0
@@ -239,6 +255,29 @@ var ErrDeadlock = errors.New("core: no commit progress (pipeline deadlock)")
 // Run simulates until the program's Halt commits, an instruction budget is
 // reached, or maxCycles elapses. It returns the statistics either way.
 func (p *Processor) Run(maxInstr uint64, maxCycles int64) (*Stats, error) {
+	return p.RunContext(context.Background(), maxInstr, maxCycles)
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// every deadlineCheckCycles cycles, and an expired deadline aborts the run
+// with a structured (transient) SimError instead of burning the full cycle
+// budget. Any invariant panic raised inside the core is recovered into a
+// *SimError carrying the failure kind, cycle, sequence number, a pipeline
+// dump, and the recent-event ring; non-simulator panics are recovered the
+// same way with their stack attached, so one corrupted configuration can
+// never take down a whole experiment sweep.
+func (p *Processor) RunContext(ctx context.Context, maxInstr uint64, maxCycles int64) (st *Stats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.stats.finish(p.now, p.cfg)
+			st, err = &p.stats, p.recoveredError(r)
+		}
+	}()
+	watchdog := p.cfg.DeadlockCycles
+	if watchdog == 0 {
+		watchdog = defaultDeadlockCycles
+	}
+	done := ctx.Done()
 	lastCommit := p.stats.Committed
 	lastProgress := p.now
 	for !p.halted {
@@ -246,18 +285,32 @@ func (p *Processor) Run(maxInstr uint64, maxCycles int64) (*Stats, error) {
 			p.stats.finish(p.now, p.cfg)
 			return &p.stats, ErrBudget
 		}
+		if done != nil && p.now%deadlineCheckCycles == 0 {
+			select {
+			case <-done:
+				p.stats.finish(p.now, p.cfg)
+				se := p.newSimError(KindDeadline, 0, "run cancelled: "+ctx.Err().Error())
+				se.Transient = true
+				se.base = ctx.Err()
+				return &p.stats, se
+			default:
+			}
+		}
 		p.cycle()
 		if p.stats.Committed != lastCommit {
 			lastCommit = p.stats.Committed
 			lastProgress = p.now
-		} else if p.now-lastProgress > 1_000_000 {
+		} else if watchdog > 0 && p.now-lastProgress > watchdog {
 			p.stats.finish(p.now, p.cfg)
-			return &p.stats, fmt.Errorf("%w at cycle %d (pc=%d, rob=%d)", ErrDeadlock, p.now, p.fetchPC, p.robCount)
+			return &p.stats, p.deadlockError(lastProgress)
 		}
 	}
 	p.stats.finish(p.now, p.cfg)
 	return &p.stats, nil
 }
+
+// deadlineCheckCycles is how often RunContext polls its context.
+const deadlineCheckCycles = 4096
 
 // cycle advances the machine one clock.
 func (p *Processor) cycle() {
@@ -433,6 +486,9 @@ func (p *Processor) commit() {
 		if e.stage != stDone || !e.done {
 			return
 		}
+		if p.oracle != nil {
+			p.checkOracle(e)
+		}
 		p.stats.Committed++
 		p.stats.StreamHash = emu.MixHash(p.stats.StreamHash, e.pc)
 		p.stats.classMix[e.class]++
@@ -446,6 +502,7 @@ func (p *Processor) commit() {
 		case e.class == isa.ClassHalt:
 			p.halted = true
 			p.haltSeq = e.seq
+			p.note("halt", e.seq, e.pc)
 		case e.sq != noReg:
 			p.commitStore(e)
 		case e.lq != noReg:
@@ -497,9 +554,38 @@ func (p *Processor) commitStore(e *robEntry) {
 	p.lsq.releaseStore(e.sq)
 }
 
+// checkOracle steps the lockstep architectural emulator for one commit
+// and raises a typed divergence panic (recovered by Run into a SimError
+// naming the seq, pc, and both values) at the first disagreement.
+func (p *Processor) checkOracle(e *robEntry) {
+	m := p.oracle
+	if m.PC != e.pc {
+		throw(KindOracleDivergence, e.seq,
+			"committed pc %d but oracle expects pc %d (seq %d, %s)", e.pc, m.PC, e.seq, e.in.String())
+	}
+	if err := m.Step(); err != nil {
+		throw(KindOracleDivergence, e.seq, "oracle step failed at pc %d: %v", e.pc, err)
+	}
+	if e.newPhys != noReg {
+		got := p.pr(e.destFP, e.newPhys).value
+		want := m.IntReg[e.archDest]
+		if e.destFP {
+			want = m.FPReg[e.archDest]
+		}
+		if got != want {
+			throw(KindOracleDivergence, e.seq,
+				"seq %d pc %d (%s): committed value %#x, oracle has %#x", e.seq, e.pc, e.in.String(), got, want)
+		}
+	}
+}
+
 // freePhys returns a physical register to its free list.
 func (p *Processor) freePhys(fp bool, idx int32) {
 	r := p.pr(fp, idx)
+	if r.free {
+		throw(KindRegDoubleFree, 0, "phys reg %d (fp=%v) freed twice", idx, fp)
+	}
+	r.free = true
 	r.ready = false
 	r.wait = false
 	r.col = -1

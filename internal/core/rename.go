@@ -232,6 +232,7 @@ func (p *Processor) unblockHead() {
 		e := &p.rob[idx]
 		if (e.stage == stWaiting || e.stage == stRequest) && p.queueOf(e) == q {
 			q.count--
+			p.note("head-evict", e.seq, e.pc)
 			p.parkEligible(idx, e)
 			p.stats.HeadEvictions++
 			return
@@ -244,6 +245,7 @@ func (p *Processor) unblockHead() {
 // penalty.
 func (p *Processor) recoverBranch(rob int32) {
 	e := &p.rob[rob]
+	p.note("mispredict", e.seq, e.pc)
 	p.squashFrom(e.seq, false)
 	p.bp.Squash(e.bpCp)
 	p.bp.Redo(e.pc, e.in, e.bpCp, e.actualTaken)
@@ -263,6 +265,7 @@ func (p *Processor) recoverBranch(rob int32) {
 func (p *Processor) recoverReplay(loadRob int32) {
 	e := &p.rob[loadRob]
 	pc := e.pc
+	p.note("replay", e.seq, pc)
 	p.squashFrom(e.seq, true)
 	p.sw.set(pc)
 	p.fetchPC = pc

@@ -181,6 +181,9 @@ func (w *wib) releaseColumn(c int32) {
 
 // park moves an instruction into the WIB, attached to column c.
 func (w *wib) park(p *Processor, rob int32, e *robEntry, c int32) {
+	if c < 0 || int(c) >= len(w.cols) || !w.cols[c].active {
+		throw(KindWIBBadColumn, e.seq, "park seq %d on dead bit-vector column %d", e.seq, c)
+	}
 	if p.tracer != nil {
 		now := p.now
 		p.tracer.event(e.seq, func(t *InstrTrace) { t.Parks = append(t.Parks, now) })
@@ -200,14 +203,18 @@ func (w *wib) park(p *Processor, rob int32, e *robEntry, c int32) {
 // unpark is the occupancy counterpart of park, used at reinsertion and
 // squash.
 func (w *wib) unpark() {
-	if w.occupancy > 0 {
-		w.occupancy--
+	if w.occupancy == 0 {
+		throw(KindWIBUnderflow, 0, "unpark with zero WIB occupancy")
 	}
+	w.occupancy--
 }
 
 // completeColumn converts a column's surviving rows into eligible
 // instructions and frees the bit-vector.
 func (w *wib) completeColumn(p *Processor, c int32) {
+	if c < 0 || int(c) >= len(w.cols) || !w.cols[c].active {
+		throw(KindWIBBadColumn, 0, "completing dead bit-vector column %d", c)
+	}
 	col := &w.cols[c]
 	var live []wibRow
 	for _, r := range col.rows {

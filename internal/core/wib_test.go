@@ -122,6 +122,7 @@ func TestStickyPriorityBlockedBankKeepsRank(t *testing.T) {
 		e.src1Phys = noReg
 		e.src2Phys = noReg
 		w.bankElig[rob] = append(w.bankElig[rob], wibRow{rob: rob, seq: e.seq})
+		w.occupancy++ // keep accounting consistent with the fabricated rows
 	}
 	p.now = 2 // even parity
 	if used := w.reinsertBanked(p, 8); used != 0 {

@@ -1,0 +1,190 @@
+// Package fault runs the simulator's fault-injection campaign: it seeds
+// deterministic corruptions of microarchitectural state (via
+// core.Inject) into a running machine whose detectors are all armed —
+// per-cycle invariant checking, the commit-time lockstep oracle, and the
+// forward-progress watchdog — and reports whether and how fast each
+// fault was caught, and with what crash dump. The campaign is the
+// robustness suite's evidence that a real simulator bug of each class
+// cannot fail silently.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"largewindow/internal/core"
+	"largewindow/internal/isa"
+)
+
+// Scenario describes one injection experiment.
+type Scenario struct {
+	// Kind is the corruption to inject.
+	Kind core.FaultKind
+	// Seed drives victim selection; equal seeds reproduce the run bit
+	// for bit.
+	Seed int64
+	// InjectStep is the cycle granularity at which injection is
+	// attempted; the machine runs in steps of this size until the fault
+	// applies. Default 250.
+	InjectStep int64
+	// DetectBudget is the number of cycles the machine may run after a
+	// successful injection before the fault counts as undetected.
+	// Default 100_000.
+	DetectBudget int64
+	// Config overrides the campaign machine (DefaultConfig) when
+	// non-nil. The override should keep the detectors armed.
+	Config *core.Config
+}
+
+// Outcome reports one scenario's result.
+type Outcome struct {
+	Kind        core.FaultKind
+	Injected    bool
+	InjectCycle int64
+	// Detected is set when the run ended in a structured SimError after
+	// injection; Err then carries the crash dump.
+	Detected    bool
+	DetectCycle int64
+	Err         *core.SimError
+	// Clean is set when the machine halted normally after injection:
+	// the corruption was absorbed without architectural effect (never
+	// expected for the shipped fault kinds on the campaign machine).
+	Clean bool
+}
+
+// Latency is the detection delay in cycles (valid when Detected).
+func (o Outcome) Latency() int64 { return o.DetectCycle - o.InjectCycle }
+
+func (o Outcome) String() string {
+	switch {
+	case !o.Injected:
+		return fmt.Sprintf("%-18s never applicable", o.Kind)
+	case o.Detected:
+		return fmt.Sprintf("%-18s injected @%d, caught @%d (+%d cycles) as [%s]",
+			o.Kind, o.InjectCycle, o.DetectCycle, o.Latency(), o.Err.Kind)
+	case o.Clean:
+		return fmt.Sprintf("%-18s injected @%d, machine halted clean (UNDETECTED)", o.Kind, o.InjectCycle)
+	default:
+		return fmt.Sprintf("%-18s injected @%d, NOT detected within budget", o.Kind, o.InjectCycle)
+	}
+}
+
+// DefaultConfig is the campaign machine: a mid-size WIB core with every
+// detector armed — per-cycle invariants, the lockstep oracle, and a
+// tight watchdog.
+func DefaultConfig() core.Config {
+	cfg := core.WIBConfigSized(256, 16)
+	cfg.Name = "fault-campaign"
+	cfg.Debug = true
+	cfg.LockstepOracle = true
+	cfg.DeadlockCycles = 20_000
+	return cfg
+}
+
+// Program builds the campaign kernel: a loop whose load misses all the
+// way to memory feeds a long dependent chain and a store, keeping issue
+// queues, WIB columns, the LSQ, and outstanding-miss events all
+// populated so every fault kind finds a victim.
+func Program() *isa.Program {
+	b := isa.NewBuilder("fault-kernel")
+	base := b.Alloc(1 << 22)
+	b.LiAddr(isa.S0, base)
+	b.Li(isa.A0, 0)
+	b.Loop(isa.S5, 64, func() {
+		b.Ld(isa.T0, isa.S0, 0) // misses to memory: opens a WIB column
+		for i := 0; i < 24; i++ {
+			b.Addi(isa.T0, isa.T0, 1) // dependent chain parks behind it
+		}
+		b.Add(isa.A0, isa.A0, isa.T0)
+		b.St(isa.A0, isa.S0, 8)
+		b.Li64(isa.T1, 512*1024) // next iteration: fresh line and page
+		b.Add(isa.S0, isa.S0, isa.T1)
+	})
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Run executes one scenario: step the machine until the fault applies,
+// then run on until a detector fires, the budget expires, or the
+// program halts.
+func Run(sc Scenario) Outcome {
+	out := Outcome{Kind: sc.Kind}
+	step := sc.InjectStep
+	if step <= 0 {
+		step = 250
+	}
+	budget := sc.DetectBudget
+	if budget <= 0 {
+		budget = 100_000
+	}
+	cfg := DefaultConfig()
+	if sc.Config != nil {
+		cfg = *sc.Config
+	}
+	p, err := core.New(cfg, Program())
+	if err != nil {
+		panic(fmt.Sprintf("fault: campaign config invalid: %v", err))
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+
+	// Phase 1: advance in InjectStep slices until the fault applies.
+	// Run with a cycle budget keeps all machine state live across calls,
+	// so injection happens between cycles of one continuous execution.
+	cycle := int64(0)
+	for !out.Injected {
+		cycle += step
+		st, err := p.Run(0, cycle)
+		if err == nil {
+			return out // halted before the fault ever applied
+		}
+		if !errors.Is(err, core.ErrBudget) {
+			// Failure before injection: a latent bug, not this campaign's
+			// fault. Surface it as a detection so callers see the dump.
+			out.Err, _ = seOf(err)
+			out.Detected = out.Err != nil
+			out.DetectCycle = st.Cycles
+			return out
+		}
+		if p.Inject(sc.Kind, rng) {
+			out.Injected = true
+			out.InjectCycle = st.Cycles
+		}
+	}
+
+	// Phase 2: run until a detector fires or the budget expires.
+	st, err := p.Run(0, out.InjectCycle+budget)
+	switch {
+	case err == nil:
+		out.Clean = true
+	case errors.Is(err, core.ErrBudget):
+		// Undetected within budget.
+	default:
+		if se, ok := seOf(err); ok {
+			out.Err = se
+			out.Detected = true
+			out.DetectCycle = st.Cycles
+		}
+	}
+	return out
+}
+
+// Campaign runs every injectable fault kind once, with per-kind seeds
+// derived from base, and returns the outcomes in campaign order.
+func Campaign(base int64) []Outcome {
+	kinds := core.AllFaultKinds()
+	out := make([]Outcome, 0, len(kinds))
+	for i, k := range kinds {
+		out = append(out, Run(Scenario{Kind: k, Seed: base + int64(i)*7919}))
+	}
+	return out
+}
+
+// seOf unwraps a *core.SimError from a run error.
+func seOf(err error) (*core.SimError, bool) {
+	var se *core.SimError
+	if errors.As(err, &se) {
+		return se, true
+	}
+	return nil, false
+}

@@ -1,0 +1,198 @@
+package fault
+
+import (
+	"testing"
+
+	"largewindow/internal/core"
+)
+
+// expectedKinds maps each injected fault to the error kinds its
+// detector may legitimately report. Several corruptions race between
+// detectors (e.g. a leaked column can trip the per-cycle accounting
+// invariant or the completing load's structural check), so each fault
+// admits a set.
+var expectedKinds = map[core.FaultKind][]core.ErrKind{
+	core.FaultRegReadyFlip:    {core.KindDeadlock},
+	core.FaultRegValueCorrupt: {core.KindOracleDivergence},
+	core.FaultRegDoubleFree: {
+		core.KindFreeListDouble, core.KindMapToFree,
+		core.KindInFlightFree, core.KindRegDoubleFree,
+	},
+	core.FaultWIBColumnLeak:    {core.KindWIBColumns, core.KindWIBBadColumn, core.KindWIBOccupancy},
+	core.FaultWIBOccupancySkew: {core.KindWIBOccupancy},
+	core.FaultMSHRDropWakeup:   {core.KindDeadlock},
+	core.FaultIQCountSkew:      {core.KindIQCount},
+	core.FaultLSQCountSkew:     {core.KindLQCount},
+}
+
+func kindAllowed(f core.FaultKind, k core.ErrKind) bool {
+	for _, want := range expectedKinds[f] {
+		if k == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCampaignDetectsEveryFault is the headline robustness property:
+// every seeded corruption is caught, by the expected detector, within
+// the detection budget, with a crash dump naming the failure.
+func TestCampaignDetectsEveryFault(t *testing.T) {
+	outs := Campaign(1)
+	if len(outs) != len(core.AllFaultKinds()) {
+		t.Fatalf("campaign ran %d scenarios, want %d", len(outs), len(core.AllFaultKinds()))
+	}
+	detected := 0
+	for _, o := range outs {
+		t.Log(o.String())
+		if !o.Injected {
+			t.Errorf("%s: never applicable on the campaign kernel", o.Kind)
+			continue
+		}
+		if !o.Detected {
+			t.Errorf("%s: injected at cycle %d but never detected", o.Kind, o.InjectCycle)
+			continue
+		}
+		detected++
+		if !kindAllowed(o.Kind, o.Err.Kind) {
+			t.Errorf("%s: detected as [%s], want one of %v", o.Kind, o.Err.Kind, expectedKinds[o.Kind])
+		}
+		if o.Latency() < 0 {
+			t.Errorf("%s: negative detection latency %d", o.Kind, o.Latency())
+		}
+		if o.Err.Dump == "" {
+			t.Errorf("%s: crash dump is empty", o.Kind)
+		}
+		if o.Err.Cycle == 0 {
+			t.Errorf("%s: crash dump missing cycle", o.Kind)
+		}
+		if o.Err.Config != "fault-campaign" {
+			t.Errorf("%s: crash dump config = %q", o.Kind, o.Err.Config)
+		}
+	}
+	if detected < 4 {
+		t.Fatalf("only %d faults detected; the campaign needs at least 4", detected)
+	}
+}
+
+// TestInvariantFaultsCaughtNextCycle: the Debug invariant checker runs
+// every cycle, so accounting corruptions must be caught essentially
+// immediately (a couple of cycles of slack for the injection landing
+// between pipeline phases).
+func TestInvariantFaultsCaughtNextCycle(t *testing.T) {
+	for _, k := range []core.FaultKind{
+		core.FaultRegDoubleFree, core.FaultWIBOccupancySkew,
+		core.FaultIQCountSkew, core.FaultLSQCountSkew,
+	} {
+		o := Run(Scenario{Kind: k, Seed: 42})
+		if !o.Injected || !o.Detected {
+			t.Errorf("%s: injected=%v detected=%v", k, o.Injected, o.Detected)
+			continue
+		}
+		if o.Latency() > 4 {
+			t.Errorf("%s: invariant fault took %d cycles to detect, want <= 4", k, o.Latency())
+		}
+	}
+}
+
+// TestWatchdogFaultsBounded: lost-wakeup faults stall the pipeline and
+// must be caught by the watchdog within its threshold (plus slack for
+// in-flight work draining before progress fully stops), far sooner than
+// the detection budget.
+func TestWatchdogFaultsBounded(t *testing.T) {
+	for _, k := range []core.FaultKind{core.FaultMSHRDropWakeup, core.FaultRegReadyFlip} {
+		o := Run(Scenario{Kind: k, Seed: 7})
+		if !o.Injected || !o.Detected {
+			t.Errorf("%s: injected=%v detected=%v (%v)", k, o.Injected, o.Detected, o.Err)
+			continue
+		}
+		if o.Err.Kind != core.KindDeadlock {
+			t.Errorf("%s: detected as [%s], want deadlock", k, o.Err.Kind)
+			continue
+		}
+		if o.Latency() > 2*20_000+5_000 {
+			t.Errorf("%s: watchdog took %d cycles, want bounded by ~2x threshold", k, o.Latency())
+		}
+		if o.Err.Stall == nil {
+			t.Errorf("%s: deadlock report has no stall info", k)
+		} else if o.Err.Stall.Reason == "" {
+			t.Errorf("%s: stall info has empty reason", k)
+		}
+	}
+}
+
+// TestDeterministicReplay: equal seeds reproduce the injection and
+// detection cycle for cycle — the property that makes a crash dump's
+// "seed" field a reproduction recipe.
+func TestDeterministicReplay(t *testing.T) {
+	for _, k := range []core.FaultKind{core.FaultRegValueCorrupt, core.FaultMSHRDropWakeup} {
+		a := Run(Scenario{Kind: k, Seed: 99})
+		b := Run(Scenario{Kind: k, Seed: 99})
+		if a.Injected != b.Injected || a.InjectCycle != b.InjectCycle ||
+			a.Detected != b.Detected || a.DetectCycle != b.DetectCycle {
+			t.Errorf("%s: runs with equal seeds diverge: %+v vs %+v", k, a, b)
+		}
+		if a.Detected && b.Detected && a.Err.Kind != b.Err.Kind {
+			t.Errorf("%s: error kinds diverge: %s vs %s", k, a.Err.Kind, b.Err.Kind)
+		}
+	}
+}
+
+// TestCrashDumpRoundTrips: the campaign's dumps survive JSON encoding,
+// so they can be written to disk and replayed with wibtrace -replay.
+func TestCrashDumpRoundTrips(t *testing.T) {
+	o := Run(Scenario{Kind: core.FaultIQCountSkew, Seed: 3})
+	if !o.Detected {
+		t.Fatalf("fault not detected: %+v", o)
+	}
+	data, err := o.Err.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := core.DecodeSimError(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != o.Err.Kind || back.Cycle != o.Err.Cycle || back.Msg != o.Err.Msg {
+		t.Errorf("roundtrip mismatch: %+v vs %+v", back, o.Err)
+	}
+	if len(back.Events) != len(o.Err.Events) {
+		t.Errorf("event ring lost in roundtrip: %d vs %d", len(back.Events), len(o.Err.Events))
+	}
+}
+
+// TestOracleDivergenceNamesValues: a silent data corruption's report
+// carries both the committed and the architecturally correct value.
+func TestOracleDivergenceNamesValues(t *testing.T) {
+	o := Run(Scenario{Kind: core.FaultRegValueCorrupt, Seed: 5})
+	if !o.Detected {
+		t.Fatalf("value corruption not detected: %+v", o)
+	}
+	if o.Err.Kind != core.KindOracleDivergence {
+		t.Fatalf("detected as [%s], want oracle-divergence", o.Err.Kind)
+	}
+	if o.Err.Seq == 0 {
+		t.Error("divergence report names no instruction")
+	}
+	if o.Err.Msg == "" {
+		t.Error("divergence report has no message")
+	}
+}
+
+// TestCleanRunStaysClean: the campaign machine with all detectors armed
+// and NO fault injected halts normally — the detectors themselves do
+// not false-positive on a healthy run.
+func TestCleanRunStaysClean(t *testing.T) {
+	cfg := DefaultConfig()
+	p, err := core.New(cfg, Program())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := p.Run(0, 10_000_000)
+	if err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	if st.Committed == 0 {
+		t.Fatal("clean run committed nothing")
+	}
+}

@@ -5,12 +5,16 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"largewindow/internal/core"
 	"largewindow/internal/stats"
@@ -33,6 +37,14 @@ type Options struct {
 	Parallel int
 	// Log receives progress lines (nil = quiet).
 	Log io.Writer
+	// RunDeadline bounds each simulation's wall-clock time; a run that
+	// exceeds it fails with a transient SimError (and is retried once).
+	// 0 means no deadline.
+	RunDeadline time.Duration
+	// PreRun, when non-nil, is invoked on each freshly constructed
+	// processor before its run starts. It exists for tests (fault
+	// injection, tracing hooks); production sessions leave it nil.
+	PreRun func(p *core.Processor, cfg core.Config, spec workload.Spec)
 }
 
 func (o Options) withDefaults() Options {
@@ -48,7 +60,9 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Result is the outcome of one simulation run.
+// Result is the outcome of one simulation run. A failed run has Err set
+// and zero metrics; failed cells stay in the session's failure list so a
+// sweep's summary can name them.
 type Result struct {
 	Bench   string
 	Suite   workload.Suite
@@ -58,14 +72,27 @@ type Result struct {
 	DL1Miss float64 // data-cache miss ratio (loads+stores)
 	L2Local float64 // unified L2 local miss ratio
 	BrAcc   float64 // conditional-branch direction accuracy
+	Err     error   // non-nil: the cell failed (SimError or panic)
+}
+
+// memoCell memoizes one (benchmark × configuration) execution. The
+// sync.Once guarantees a single execution even under concurrent Run
+// calls, and — unlike the result-map it replaces — it memoizes failures
+// too: a crashed cell is not silently re-run by the next experiment that
+// needs it.
+type memoCell struct {
+	once sync.Once
+	res  *Result
+	err  error
 }
 
 // Session runs and memoizes simulations.
 type Session struct {
-	opt  Options
-	mu   sync.Mutex
-	memo map[string]*Result
-	sem  chan struct{}
+	opt      Options
+	mu       sync.Mutex
+	memo     map[string]*memoCell
+	failures []*Result
+	sem      chan struct{}
 }
 
 // NewSession creates a harness session.
@@ -73,7 +100,7 @@ func NewSession(opt Options) *Session {
 	opt = opt.withDefaults()
 	return &Session{
 		opt:  opt,
-		memo: make(map[string]*Result),
+		memo: make(map[string]*memoCell),
 		sem:  make(chan struct{}, opt.Parallel),
 	}
 }
@@ -97,37 +124,85 @@ func (s *Session) benchmarks() []workload.Spec {
 	return out
 }
 
-// Run simulates one benchmark under one configuration (memoized).
+// Run simulates one benchmark under one configuration. Executions are
+// memoized — successes and failures alike — and single-flight: under
+// concurrent callers exactly one goroutine runs the cell while the rest
+// wait on its result. A run that dies with a transient failure (wall-
+// clock deadline) is retried once before the cell is recorded as failed.
 func (s *Session) Run(cfg core.Config, spec workload.Spec) (*Result, error) {
 	key := cfg.Name + "\x00" + spec.Name
 	s.mu.Lock()
-	if r, ok := s.memo[key]; ok {
-		s.mu.Unlock()
-		return r, nil
+	c, ok := s.memo[key]
+	if !ok {
+		c = &memoCell{}
+		s.memo[key] = c
 	}
 	s.mu.Unlock()
 
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
-	// Re-check after acquiring the slot (another goroutine may have run it).
-	s.mu.Lock()
-	if r, ok := s.memo[key]; ok {
-		s.mu.Unlock()
-		return r, nil
-	}
-	s.mu.Unlock()
+	c.once.Do(func() {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		c.res, c.err = s.runOnce(cfg, spec)
+		if c.err != nil && transient(c.err) {
+			if s.opt.Log != nil {
+				fmt.Fprintf(s.opt.Log, "  RETRY %s on %s: %v\n", spec.Name, cfg.Name, c.err)
+			}
+			c.res, c.err = s.runOnce(cfg, spec)
+		}
+		if c.err != nil {
+			c.err = fmt.Errorf("%s on %s: %w", spec.Name, cfg.Name, c.err)
+			c.res = &Result{Bench: spec.Name, Suite: spec.Suite, Config: cfg.Name, Err: c.err}
+			s.mu.Lock()
+			s.failures = append(s.failures, c.res)
+			s.mu.Unlock()
+			if s.opt.Log != nil {
+				fmt.Fprintf(s.opt.Log, "  FAIL %-10s on %-16s %v\n", spec.Name, cfg.Name, c.err)
+			}
+			return
+		}
+		if s.opt.Log != nil {
+			fmt.Fprintf(s.opt.Log, "  ran %-10s on %-16s IPC=%.3f cycles=%d dl1=%.3f l2=%.3f\n",
+				spec.Name, cfg.Name, c.res.IPC, c.res.Stats.Cycles, c.res.DL1Miss, c.res.L2Local)
+		}
+	})
+	return c.res, c.err
+}
 
+// runOnce executes one simulation in isolation: a panic that escapes the
+// core's own recovery (or lives in harness/workload code) is caught here
+// and returned as an error, so one bad cell cannot take down a sweep's
+// worker goroutine — and with it the whole process.
+func (s *Session) runOnce(cfg core.Config, spec workload.Spec) (r *Result, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("harness: panic: %v\n%s", rec, debug.Stack())
+		}
+	}()
 	prog := spec.Build(s.opt.Scale)
 	p, err := core.New(cfg, prog)
 	if err != nil {
 		return nil, err
 	}
-	st, err := p.Run(s.opt.MaxInstr, s.opt.MaxCycles)
+	if s.opt.PreRun != nil {
+		s.opt.PreRun(p, cfg, spec)
+	}
+	ctx := context.Background()
+	if s.opt.RunDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opt.RunDeadline)
+		defer cancel()
+	}
+	st, err := p.RunContext(ctx, s.opt.MaxInstr, s.opt.MaxCycles)
 	if err != nil && !errors.Is(err, core.ErrBudget) {
-		return nil, fmt.Errorf("%s on %s: %w", spec.Name, cfg.Name, err)
+		var se *core.SimError
+		if errors.As(err, &se) {
+			se.Bench = spec.Name
+			se.Scale = s.opt.Scale.String()
+		}
+		return nil, err
 	}
 	h := p.Hierarchy()
-	r := &Result{
+	return &Result{
 		Bench:   spec.Name,
 		Suite:   spec.Suite,
 		Config:  cfg.Name,
@@ -136,44 +211,91 @@ func (s *Session) Run(cfg core.Config, spec workload.Spec) (*Result, error) {
 		DL1Miss: h.L1DStats().MissRatio(),
 		L2Local: h.L2Stats().MissRatio(),
 		BrAcc:   st.CondAccuracy(),
-	}
-	s.mu.Lock()
-	s.memo[key] = r
-	s.mu.Unlock()
-	if s.opt.Log != nil {
-		fmt.Fprintf(s.opt.Log, "  ran %-10s on %-16s IPC=%.3f cycles=%d dl1=%.3f l2=%.3f\n",
-			spec.Name, cfg.Name, r.IPC, st.Cycles, r.DL1Miss, r.L2Local)
-	}
-	return r, nil
+	}, nil
+}
+
+// transient reports whether an error is worth one retry (wall-clock
+// deadline hits on a loaded machine; never simulator bugs).
+func transient(err error) bool {
+	var se *core.SimError
+	return errors.As(err, &se) && se.Transient
 }
 
 // RunAll simulates every selected benchmark under cfg, concurrently, and
-// returns results keyed by benchmark name.
+// returns the successful results keyed by benchmark name. Failed cells
+// do NOT abort the sweep: the remaining benchmarks still run, and the
+// returned error joins every failure (in table order) so callers see all
+// of them at once. Failed cells are also recorded on the session —
+// see Failures and FailureSummary.
 func (s *Session) RunAll(cfg core.Config) (map[string]*Result, error) {
 	specs := s.benchmarks()
 	out := make(map[string]*Result, len(specs))
+	errs := make([]error, len(specs))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	var firstErr error
-	for _, spec := range specs {
-		spec := spec
+	for i, spec := range specs {
+		i, spec := i, spec
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			r, err := s.Run(cfg, spec)
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil && firstErr == nil {
-				firstErr = err
+			if err != nil {
+				errs[i] = err
 				return
 			}
-			if err == nil {
-				out[spec.Name] = r
-			}
+			out[spec.Name] = r
 		}()
 	}
 	wg.Wait()
-	return out, firstErr
+	return out, errors.Join(errs...)
+}
+
+// Failures returns the failed cells recorded so far, ordered by
+// (config, benchmark).
+func (s *Session) Failures() []*Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]*Result(nil), s.failures...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Config != out[j].Config {
+			return out[i].Config < out[j].Config
+		}
+		return out[i].Bench < out[j].Bench
+	})
+	return out
+}
+
+// FailureSummary renders the session's failed cells as a table (empty
+// string when every run succeeded). Experiment drivers print it after a
+// sweep so partial results are never mistaken for complete ones.
+func (s *Session) FailureSummary() string {
+	fails := s.Failures()
+	if len(fails) == 0 {
+		return ""
+	}
+	t := &stats.Table{
+		Title:   "Failed runs",
+		Headers: []string{"Config", "Benchmark", "Kind", "Cycle", "Error"},
+	}
+	for _, f := range fails {
+		kind, cycle := "-", "-"
+		var se *core.SimError
+		if errors.As(f.Err, &se) {
+			kind = string(se.Kind)
+			cycle = fmt.Sprintf("%d", se.Cycle)
+		}
+		msg := f.Err.Error()
+		if len(msg) > 72 {
+			msg = msg[:69] + "..."
+		}
+		t.AddRow(f.Config, f.Bench, kind, cycle, msg)
+	}
+	t.AddNote("%d of the sweep's cells failed; metrics above exclude them", len(fails))
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
 }
 
 // suiteAverages computes the per-suite arithmetic-mean speedup of `news`

@@ -53,6 +53,19 @@ const (
 	ScaleFull              // closest to the paper's footprints
 )
 
+func (s Scale) String() string {
+	switch s {
+	case ScaleTest:
+		return "test"
+	case ScaleRun:
+		return "run"
+	case ScaleFull:
+		return "full"
+	default:
+		return fmt.Sprintf("scale%d", int(s))
+	}
+}
+
 // Spec describes one benchmark kernel.
 type Spec struct {
 	Name  string

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Pre-merge gate: static checks, build, race-enabled tests, and a smoke
+# run of the fault-injection campaign (seeded corruption must still be
+# detected within bounded time). Run from the repo root: scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== fault-injection smoke sweep =="
+go test -count=1 -run 'TestCampaignDetectsEveryFault|TestWatchdogFaultsBounded' ./internal/fault/
+
+echo "check: all gates passed"
