@@ -7,6 +7,7 @@
 //	experiments [-run fig1,table2,fig4,fig5,fig6,policy,fig7,sens|all]
 //	            [-instr N] [-bench a,b,c] [-scale test|run|full] [-v]
 //	            [-deadline 2m] [-crash-dump dir]
+//	            [-telemetry-dir dir] [-sample-interval N] [-pprof cpu.prof]
 //
 // A failing (benchmark × configuration) cell does not abort the sweep:
 // the remaining cells still run, a failure-summary table is printed at
@@ -21,6 +22,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"largewindow/internal/core"
@@ -40,6 +42,10 @@ func main() {
 
 		deadline  = flag.Duration("deadline", 0, "wall-clock limit per simulation (0 = none)")
 		crashDump = flag.String("crash-dump", "", "directory for per-failure JSON crash dumps")
+
+		telemDir  = flag.String("telemetry-dir", "", "write one JSONL telemetry series per cell into this directory")
+		sampleIvl = flag.Int64("sample-interval", 0, "telemetry sampling period in cycles (0 = default)")
+		pprofOut  = flag.String("pprof", "", "write a CPU profile of the whole sweep")
 	)
 	flag.Parse()
 
@@ -62,10 +68,25 @@ func main() {
 		os.Exit(2)
 	}
 	opt := harness.Options{
-		MaxInstr:    *instr,
-		Scale:       sc,
-		Parallel:    *par,
-		RunDeadline: *deadline,
+		MaxInstr:       *instr,
+		Scale:          sc,
+		Parallel:       *par,
+		RunDeadline:    *deadline,
+		TelemetryDir:   *telemDir,
+		SampleInterval: *sampleIvl,
+	}
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	if *bench != "" {
 		opt.Benchmarks = strings.Split(*bench, ",")
@@ -86,6 +107,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		pprof.StopCPUProfile() // os.Exit skips the deferred stop
 		os.Exit(1)
 	}
 }

@@ -8,10 +8,18 @@
 //	       [-wib-entries N] [-bitvectors N] [-policy banked|program-order|rr-load|oldest-load]
 //	       [-mem-latency N] [-dump] [-deadline 30s] [-crash-dump crash.json]
 //	       [-watchdog N] [-lockstep]
+//	       [-telemetry] [-telemetry-out telemetry.jsonl] [-sample-interval N]
+//	       [-trace-out trace.json] [-kanata pipeline.kanata] [-pprof cpu.prof]
 //
 // A failed run (invariant violation, deadlock, oracle divergence, or
 // deadline) exits 1 after printing the structured error; -crash-dump
 // writes its JSON form for offline replay with `wibtrace -replay`.
+//
+// Observability: -telemetry samples counters/gauges/histograms into a
+// JSONL time series every -sample-interval cycles; -trace-out and -kanata
+// render per-instruction lifecycle traces (Chrome trace-event JSON and a
+// Konata-compatible pipeline view); -pprof writes a Go CPU profile of the
+// simulator itself. Render or validate outputs with `wibtrace -render`.
 package main
 
 import (
@@ -20,8 +28,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"largewindow/internal/core"
+	"largewindow/internal/telemetry"
 	"largewindow/internal/workload"
 )
 
@@ -44,6 +54,13 @@ func main() {
 		crashDump = flag.String("crash-dump", "", "on failure, write the structured error as JSON to this file")
 		watchdog  = flag.Int64("watchdog", 0, "deadlock watchdog threshold in cycles (0 = default 1M, negative = off)")
 		lockstep  = flag.Bool("lockstep", false, "cross-check every commit against the functional emulator (slow)")
+
+		telem     = flag.Bool("telemetry", false, "sample counters/gauges into a JSONL time series")
+		telemOut  = flag.String("telemetry-out", "telemetry.jsonl", "telemetry sample file (with -telemetry)")
+		sampleIvl = flag.Int64("sample-interval", telemetry.DefaultSampleInterval, "cycles between telemetry samples")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON of traced instructions")
+		kanataOut = flag.String("kanata", "", "write a Konata-compatible pipeline view of traced instructions")
+		pprofOut  = flag.String("pprof", "", "write a CPU profile of the simulator run")
 	)
 	flag.Parse()
 
@@ -99,6 +116,9 @@ func main() {
 	}
 	cfg.Mem.MemLatency = *memLat
 	cfg.TraceCapacity = *ptrace
+	if (*traceOut != "" || *kanataOut != "") && cfg.TraceCapacity == 0 {
+		cfg.TraceCapacity = 4096 // trace renders need the lifecycle ring
+	}
 	cfg.DeadlockCycles = *watchdog
 	cfg.LockstepOracle = *lockstep
 
@@ -108,6 +128,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	var col *telemetry.Collector
+	if *telem {
+		f, err := os.Create(*telemOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		col = telemetry.NewCollector(f, *sampleIvl)
+		p.AttachTelemetry(col)
+	}
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	ctx := context.Background()
 	if *deadline > 0 {
 		var cancel context.CancelFunc
@@ -115,6 +160,12 @@ func main() {
 		defer cancel()
 	}
 	st, err := p.RunContext(ctx, *instr, *cycles)
+	if col != nil {
+		if cerr := col.Close(st.Cycles); cerr != nil {
+			fmt.Fprintf(os.Stderr, "writing telemetry: %v\n", cerr)
+		}
+	}
+	writeInstrTraces(*traceOut, *kanataOut, p)
 	if err != nil && !errors.Is(err, core.ErrBudget) {
 		fmt.Fprintln(os.Stderr, err)
 		var se *core.SimError
@@ -144,6 +195,8 @@ func main() {
 	fmt.Printf("D-TLB miss ratio  %.5f\n", h.TLBMissRatio())
 	fmt.Printf("forwarded loads   %d   store-wait holds %d\n", st.ForwardedLoads, st.StoreWaitHits)
 	fmt.Printf("avg occupancy     %.1f (active list)\n", st.AvgROBOccupancy())
+	fmt.Printf("MLP               %.2f avg / %d peak outstanding L2 misses (%d miss cycles)\n",
+		st.AvgMLP(), st.MLPPeak, st.MLPCycles())
 	if cfg.WIB != nil {
 		fmt.Printf("WIB insertions    %d total, %d reinsertions, avg %.2f / max %d per instruction\n",
 			st.WIBInsertions, st.WIBReinsertions, st.AvgWIBInsertions(), st.WIBMaxInsertions)
@@ -156,6 +209,31 @@ func main() {
 		fmt.Println()
 		core.WriteTimeline(os.Stdout, p.Traces())
 	}
+}
+
+// writeInstrTraces renders the core's lifecycle ring in the requested
+// formats; empty paths are no-ops.
+func writeInstrTraces(chromePath, kanataPath string, p *core.Processor) {
+	if chromePath == "" && kanataPath == "" {
+		return
+	}
+	recs := core.TraceRecords(p.Traces())
+	write := func(path string, render func(f *os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		if err := render(f); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+		}
+	}
+	write(chromePath, func(f *os.File) error { return telemetry.WriteChromeTrace(f, recs) })
+	write(kanataPath, func(f *os.File) error { return telemetry.WriteKanata(f, recs) })
 }
 
 // writeCrashDump saves a structured failure as JSON (replayable with

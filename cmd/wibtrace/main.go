@@ -7,9 +7,15 @@
 // experiments (-crash-dump) and pretty-prints the structured failure:
 // kind, cycle, stalled instruction, the recent-event ring, the pipeline
 // dump, and the code around the failing PC.
+//
+// With -render it validates and summarizes a telemetry artifact written
+// by `wibsim -telemetry/-trace-out/-kanata` or `experiments
+// -telemetry-dir`, sniffing the format (JSONL sample series, Chrome
+// trace-event JSON, or Kanata pipeline stream) from the file contents.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +24,7 @@ import (
 	"largewindow/internal/core"
 	"largewindow/internal/emu"
 	"largewindow/internal/isa"
+	"largewindow/internal/telemetry"
 	"largewindow/internal/workload"
 )
 
@@ -29,11 +36,19 @@ func main() {
 		disasm = flag.Bool("disasm", false, "print the kernel's code and exit")
 		trace  = flag.Uint64("trace", 0, "print the first N executed instructions")
 		replay = flag.String("replay", "", "decode and print a JSON crash dump, then exit")
+		render = flag.String("render", "", "validate and summarize a telemetry/trace file, then exit")
 	)
 	flag.Parse()
 
 	if *replay != "" {
 		if err := replayDump(*replay); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *render != "" {
+		if err := renderArtifact(*render); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -105,6 +120,109 @@ func max(a, b uint64) uint64 {
 		return a
 	}
 	return b
+}
+
+// renderArtifact sniffs a telemetry artifact's format and prints a
+// validation summary: Kanata streams by their header, Chrome traces by
+// the traceEvents envelope, and JSONL sample series otherwise.
+func renderArtifact(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	switch {
+	case bytes.HasPrefix(data, []byte("Kanata")):
+		st, err := telemetry.ReadKanata(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("kanata stream     %s\n", path)
+		fmt.Printf("instructions      %d (%d retired, %d flushed)\n", st.Instructions, st.Retired, st.Flushed)
+		fmt.Printf("stage intervals   %d\n", st.StageStarts)
+		fmt.Printf("final cycle       %d\n", st.Cycles)
+		return nil
+	case bytes.Contains(firstLine(data), []byte("traceEvents")):
+		st, err := telemetry.ReadChromeTrace(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("chrome trace      %s\n", path)
+		fmt.Printf("events            %d over cycles [%d, %d]\n", st.Events, st.FirstCycle, st.LastCycle)
+		var cats []string
+		for c := range st.PerCat {
+			cats = append(cats, c)
+		}
+		sort.Strings(cats)
+		for _, c := range cats {
+			fmt.Printf("  %-12s %d\n", c, st.PerCat[c])
+		}
+		return nil
+	default:
+		samples, err := telemetry.ReadSamples(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		if len(samples) == 0 {
+			return fmt.Errorf("%s: empty sample series", path)
+		}
+		first, last := samples[0], samples[len(samples)-1]
+		fmt.Printf("telemetry series  %s\n", path)
+		fmt.Printf("samples           %d over cycles [%d, %d]\n", len(samples), first.Cycle, last.Cycle)
+		var names []string
+		for n := range last.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("counters          %d registered\n", len(names))
+		for _, n := range names {
+			fmt.Printf("  %-24s %12d\n", n, last.Counters[n])
+		}
+		if commits, ok := last.Counters["core.commit.instrs"]; ok && last.Cycle > 0 {
+			fmt.Printf("overall IPC       %.4f\n", float64(commits)/float64(last.Cycle))
+		}
+		// A per-sample occupancy sparkline for the metric the paper cares
+		// about most: WIB fill over time.
+		if _, ok := last.Gauges["wib.occupancy"]; ok {
+			fmt.Printf("wib occupancy     ")
+			for _, s := range samples {
+				fmt.Printf("%c", sparkChar(s.Gauges["wib.occupancy"], wibSeriesMax(samples)))
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+}
+
+// firstLine returns data up to the first newline (format sniffing only).
+func firstLine(data []byte) []byte {
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		return data[:i]
+	}
+	return data
+}
+
+// wibSeriesMax finds the peak sampled WIB occupancy for sparkline scaling.
+func wibSeriesMax(samples []telemetry.Sample) float64 {
+	m := 1.0
+	for _, s := range samples {
+		if v := s.Gauges["wib.occupancy"]; v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// sparkChar maps v/max onto an eight-level block character.
+func sparkChar(v, max float64) rune {
+	levels := []rune(" ▁▂▃▄▅▆▇█")
+	i := int(v / max * float64(len(levels)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(levels) {
+		i = len(levels) - 1
+	}
+	return levels[i]
 }
 
 // replayDump decodes a crash dump written by `wibsim -crash-dump` or

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"largewindow/internal/isa"
+	"largewindow/internal/telemetry"
 )
 
 // Config sizes the whole front-end prediction unit.
@@ -57,6 +58,8 @@ type Predictor struct {
 	ras     *RAS
 	ghr     uint32
 	ghrMask uint32
+
+	Predicts uint64 // control transfers predicted (fetch-order)
 }
 
 // New builds a predictor.
@@ -74,6 +77,7 @@ func New(cfg Config) *Predictor {
 // speculatively updates history and the RAS. It must be called exactly
 // once per fetched control transfer, in fetch order.
 func (p *Predictor) Predict(pc uint64, in isa.Instr) (Pred, Checkpoint) {
+	p.Predicts++
 	var pr Pred
 	var cp Checkpoint
 	switch in.Op {
@@ -145,6 +149,14 @@ func (p *Predictor) Commit(pc uint64, in isa.Instr, cp Checkpoint, taken bool, t
 	if taken && in.Op != isa.OpJr {
 		p.btb.Insert(pc, target)
 	}
+}
+
+// AttachTelemetry registers the predictor's traffic counters with a
+// telemetry registry.
+func (p *Predictor) AttachTelemetry(reg *telemetry.Registry) {
+	reg.CounterFunc("bpred.predicts", func() uint64 { return p.Predicts })
+	reg.CounterFunc("bpred.btb.lookups", func() uint64 { return p.btb.Lookups })
+	reg.CounterFunc("bpred.btb.hits", func() uint64 { return p.btb.Hits })
 }
 
 // BTBStats reports BTB lookups and hits.

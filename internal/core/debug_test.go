@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"largewindow/internal/workload"
+)
+
+// TestDebugDumpMidRun stops a WIB machine mid-flight on its cycle budget
+// and checks that DebugDump reports the live machine: the current cycle,
+// queue occupancies that agree with the processor's own fields, WIB
+// status, and per-entry ROB lines for the in-flight instructions.
+func TestDebugDumpMidRun(t *testing.T) {
+	spec, ok := workload.Get("mgrid")
+	if !ok {
+		t.Fatal("mgrid kernel missing")
+	}
+	prog := spec.Build(workload.ScaleTest)
+	p, err := New(WIBDefault(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget small enough to stop mid-kernel but large enough to have
+	// filled the window: mgrid at test scale runs for tens of thousands
+	// of cycles.
+	st, err := p.Run(0, 2_000)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("run err = %v, want ErrBudget (mid-run stop)", err)
+	}
+
+	dump := p.DebugDump(8)
+	header := fmt.Sprintf("cycle=%d committed=%d rob=%d/%d intIQ=%d/%d",
+		st.Cycles, st.Committed, p.robCount, len(p.rob), p.intIQ.count, p.intIQ.size)
+	if !strings.Contains(dump, header) {
+		t.Errorf("dump header does not reflect live state; want prefix %q in:\n%s", header, dump)
+	}
+	for _, want := range []string{"fpIQ=", "ifq=", "fetchPC=", "wib: occupancy=", "freeCols="} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+	if p.robCount == 0 {
+		t.Fatalf("expected in-flight instructions at cycle %d", st.Cycles)
+	}
+	// One "seq=" line per dumped ROB entry, capped at the request (8).
+	wantRows := int(p.robCount)
+	if wantRows > 8 {
+		wantRows = 8
+	}
+	if got := strings.Count(dump, "seq="); got != wantRows {
+		t.Errorf("dump shows %d ROB entries, want %d:\n%s", got, wantRows, dump)
+	}
+	// The dumped WIB occupancy must be the machine's.
+	if p.wib != nil {
+		wibLine := fmt.Sprintf("wib: occupancy=%d freeCols=%d/%d",
+			p.wib.occupancy, len(p.wib.free), len(p.wib.cols))
+		if !strings.Contains(dump, wibLine) {
+			t.Errorf("dump missing live WIB line %q:\n%s", wibLine, dump)
+		}
+	}
+}

@@ -52,6 +52,9 @@ func (p *Processor) fetch() {
 		}
 		p.pushIFQ(fe)
 		p.stats.FetchedInstrs++
+		if p.tel != nil {
+			p.tel.cFetched.Inc()
+		}
 		p.fetchPC = next
 		if in.Op == isa.OpHalt {
 			p.fetchHalted = true
@@ -78,6 +81,9 @@ func (p *Processor) flushIFQ() {
 			p.bp.Squash(fe.cp)
 		}
 		p.stats.SquashedInstrs++
+		if p.tel != nil {
+			p.tel.cSquash.Inc()
+		}
 	}
 	p.ifqN = 0
 }

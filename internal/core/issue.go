@@ -323,6 +323,9 @@ func (p *Processor) issueFrom(q *issueQueue, width int) {
 	if len(setAside) > 0 {
 		heap.Init(&q.ready)
 	}
+	if p.tel != nil && issued > 0 {
+		p.tel.cIssue.Add(uint64(issued))
+	}
 }
 
 // operandWaits reports whether a source operand is pretend-ready (its

@@ -76,6 +76,12 @@ func (p *Processor) tryIssueLoad(rob int32, e *robEntry) issueStatus {
 	p.traceIssued(e)
 	start := p.now + p.regReadDelay(e) + lat
 	res := p.hier.Load(addr, start)
+	if res.L2Miss {
+		p.noteL2Miss(res.Ready)
+	}
+	if p.tel != nil {
+		p.tel.hLoadLat.Observe(float64(res.Ready - start))
+	}
 	lqe.executed = true
 	lqe.value = p.memory.ReadWord(waddr)
 	lqe.fwdSeq = 0

@@ -145,6 +145,15 @@ type Processor struct {
 
 	tracer *tracer // nil unless Config.TraceCapacity > 0
 
+	// tel is nil unless a telemetry collector is attached; every probe in
+	// the pipeline guards on that nil so the disabled path costs one
+	// branch (see telemetry.go).
+	tel *telemetryState
+
+	// l2MissReady holds the fill-completion cycles of outstanding demand-
+	// load L2 misses, for the MLP statistic (min-heap, pruned per cycle).
+	l2MissReady int64Heap
+
 	// oracle is the lockstep architectural emulator (Config.LockstepOracle):
 	// every committed instruction is stepped and compared, so a timing-core
 	// bug that corrupts architectural state is caught at the first wrong
@@ -332,6 +341,12 @@ func (p *Processor) cycle() {
 		p.stats.robOccupancy += uint64(p.robCount)
 		p.stats.occupancySamples++
 	}
+	if len(p.l2MissReady) > 0 {
+		p.accountMLP()
+	}
+	if p.tel != nil {
+		p.tel.col.Tick(p.now)
+	}
 	if p.cfg.Debug {
 		p.checkInvariants()
 	}
@@ -490,6 +505,9 @@ func (p *Processor) commit() {
 			p.checkOracle(e)
 		}
 		p.stats.Committed++
+		if p.tel != nil {
+			p.tel.cCommit.Inc()
+		}
 		p.stats.StreamHash = emu.MixHash(p.stats.StreamHash, e.pc)
 		p.stats.classMix[e.class]++
 		if p.tracer != nil {
@@ -518,8 +536,9 @@ func (p *Processor) commit() {
 			}
 		}
 		if e.insertions > 0 {
+			// WIBInsertions itself is counted at park time (so it also sees
+			// squashed work); only the per-instruction aggregates accrue here.
 			p.stats.WIBInstructions++
-			p.stats.WIBInsertions += uint64(e.insertions)
 			if e.insertions > p.stats.WIBMaxInsertions {
 				p.stats.WIBMaxInsertions = e.insertions
 			}

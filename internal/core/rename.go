@@ -145,6 +145,9 @@ func (p *Processor) dispatchOne(fe *ifqEntry) bool {
 	if p.tracer != nil {
 		p.tracer.dispatch(e, fe.fetched, p.now)
 	}
+	if p.tel != nil {
+		p.tel.cDispatch.Inc()
+	}
 
 	switch {
 	case class == isa.ClassNop || class == isa.ClassHalt:
@@ -195,6 +198,9 @@ func (p *Processor) parkEligible(rob int32, e *robEntry) {
 	e.wibCol = -1
 	e.insertions++
 	p.stats.WIBInsertions++
+	if p.tel != nil {
+		p.tel.cPark.Inc()
+	}
 	p.wib.occupancy++
 	if p.wib.occupancy > p.wib.peak {
 		p.wib.peak = p.wib.occupancy
@@ -295,6 +301,9 @@ func (p *Processor) squashFrom(boundarySeq uint64, inclusive bool) {
 
 func (p *Processor) squashEntry(e *robEntry) {
 	p.stats.SquashedInstrs++
+	if p.tel != nil {
+		p.tel.cSquash.Inc()
+	}
 	if p.tracer != nil {
 		now := p.now
 		p.tracer.event(e.seq, func(t *InstrTrace) {

@@ -41,9 +41,16 @@ type Stats struct {
 	PoolSpills       uint64 // pool-of-blocks overflows (§3.5 organization)
 	SliceExecuted    uint64 // instructions executed on the slice core (§6)
 
+	// Memory-level parallelism: outstanding demand-load L2 misses,
+	// accumulated over cycles with at least one outstanding (the paper's
+	// motivation is overlapping these misses; see AvgMLP).
+	MLPPeak int
+
 	classMix         [16]uint64
 	robOccupancy     uint64
 	occupancySamples uint64
+	mlpSum           uint64
+	mlpCycles        uint64
 }
 
 // finish derives the summary figures at end of run.
@@ -82,6 +89,20 @@ func (s *Stats) AvgWIBInsertions() float64 {
 	}
 	return float64(s.WIBInsertions) / float64(s.WIBInstructions)
 }
+
+// AvgMLP is the mean number of outstanding demand-load L2 misses over
+// cycles during which at least one was outstanding (0 for runs that never
+// missed to memory).
+func (s *Stats) AvgMLP() float64 {
+	if s.mlpCycles == 0 {
+		return 0
+	}
+	return float64(s.mlpSum) / float64(s.mlpCycles)
+}
+
+// MLPCycles reports how many cycles had at least one demand-load L2 miss
+// outstanding.
+func (s *Stats) MLPCycles() uint64 { return s.mlpCycles }
 
 // ClassCount returns how many instructions of the given class committed.
 func (s *Stats) ClassCount(c isa.Class) uint64 { return s.classMix[c] }

@@ -192,6 +192,9 @@ func (w *wib) park(p *Processor, rob int32, e *robEntry, c int32) {
 	e.wibCol = c
 	e.insertions++
 	p.stats.WIBInsertions++
+	if p.tel != nil {
+		p.tel.cPark.Inc()
+	}
 	w.cols[c].rows = append(w.cols[c].rows, wibRow{rob: rob, seq: e.seq})
 	w.occupancy++
 	if w.occupancy > w.peak {
@@ -310,6 +313,9 @@ func (w *wib) tryReinsertRow(p *Processor, r wibRow) (bool, bool) {
 	q.count++
 	w.unpark()
 	p.stats.WIBReinsertions++
+	if p.tel != nil {
+		p.tel.cReinsert.Inc()
+	}
 	if p.tracer != nil {
 		now := p.now
 		p.tracer.event(e.seq, func(t *InstrTrace) { t.Reinserts = append(t.Reinserts, now) })

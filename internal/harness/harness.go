@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -18,6 +20,7 @@ import (
 
 	"largewindow/internal/core"
 	"largewindow/internal/stats"
+	"largewindow/internal/telemetry"
 	"largewindow/internal/workload"
 )
 
@@ -45,6 +48,13 @@ type Options struct {
 	// processor before its run starts. It exists for tests (fault
 	// injection, tracing hooks); production sessions leave it nil.
 	PreRun func(p *core.Processor, cfg core.Config, spec workload.Spec)
+	// TelemetryDir, when non-empty, attaches a telemetry collector to
+	// every run and writes one JSONL sample series per cell to
+	// <dir>/<config>-<bench>.jsonl (the directory is created on demand).
+	TelemetryDir string
+	// SampleInterval is the telemetry sampling period in cycles
+	// (0 = telemetry.DefaultSampleInterval).
+	SampleInterval int64
 }
 
 func (o Options) withDefaults() Options {
@@ -186,6 +196,10 @@ func (s *Session) runOnce(cfg core.Config, spec workload.Spec) (r *Result, err e
 	if s.opt.PreRun != nil {
 		s.opt.PreRun(p, cfg, spec)
 	}
+	closeTelemetry, err := s.attachTelemetry(p, cfg, spec)
+	if err != nil {
+		return nil, err
+	}
 	ctx := context.Background()
 	if s.opt.RunDeadline > 0 {
 		var cancel context.CancelFunc
@@ -193,6 +207,11 @@ func (s *Session) runOnce(cfg core.Config, spec workload.Spec) (r *Result, err e
 		defer cancel()
 	}
 	st, err := p.RunContext(ctx, s.opt.MaxInstr, s.opt.MaxCycles)
+	if closeTelemetry != nil {
+		if terr := closeTelemetry(st.Cycles); terr != nil && s.opt.Log != nil {
+			fmt.Fprintf(s.opt.Log, "  telemetry %s on %s: %v\n", spec.Name, cfg.Name, terr)
+		}
+	}
 	if err != nil && !errors.Is(err, core.ErrBudget) {
 		var se *core.SimError
 		if errors.As(err, &se) {
@@ -211,6 +230,37 @@ func (s *Session) runOnce(cfg core.Config, spec workload.Spec) (r *Result, err e
 		DL1Miss: h.L1DStats().MissRatio(),
 		L2Local: h.L2Stats().MissRatio(),
 		BrAcc:   st.CondAccuracy(),
+	}, nil
+}
+
+// attachTelemetry wires a per-cell JSONL collector when TelemetryDir is
+// set. The returned closer flushes the stream with the run's final cycle
+// count; it is nil when telemetry is off.
+func (s *Session) attachTelemetry(p *core.Processor, cfg core.Config, spec workload.Spec) (func(int64) error, error) {
+	if s.opt.TelemetryDir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(s.opt.TelemetryDir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: telemetry dir: %w", err)
+	}
+	name := strings.Map(func(r rune) rune {
+		if r == '/' || r == ' ' {
+			return '_'
+		}
+		return r
+	}, cfg.Name) + "-" + spec.Name + ".jsonl"
+	f, err := os.Create(filepath.Join(s.opt.TelemetryDir, name))
+	if err != nil {
+		return nil, fmt.Errorf("harness: telemetry file: %w", err)
+	}
+	col := telemetry.NewCollector(f, s.opt.SampleInterval)
+	p.AttachTelemetry(col)
+	return func(endCycle int64) error {
+		cerr := col.Close(endCycle)
+		if ferr := f.Close(); cerr == nil {
+			cerr = ferr
+		}
+		return cerr
 	}, nil
 }
 

@@ -1,5 +1,7 @@
 package mem
 
+import "largewindow/internal/telemetry"
+
 // Config sizes the whole memory system. DefaultConfig reproduces paper
 // Table 1.
 type Config struct {
@@ -61,6 +63,7 @@ type Hierarchy struct {
 	LoadCount     uint64
 	StoreCount    uint64
 	LoadL1Misses  uint64
+	MemFills      uint64 // L2 misses serviced by main memory
 }
 
 // NewHierarchy builds the memory system.
@@ -118,6 +121,7 @@ func (h *Hierarchy) access(l1 *Cache, inflight map[uint64]int64, addr uint64, no
 		ready += h.cfg.L2Latency
 	} else {
 		res.L2Miss = true
+		h.MemFills++
 		ready += h.cfg.L2Latency + h.cfg.MemLatency
 	}
 	inflight[line] = ready
@@ -188,6 +192,43 @@ func (h *Hierarchy) L1IStats() CacheStats { return h.l1i.Stats() }
 
 // L2Stats returns unified-L2 counters; MissRatio() is the local miss ratio.
 func (h *Hierarchy) L2Stats() CacheStats { return h.l2.Stats() }
+
+// InflightFills counts line fills still outstanding at cycle now across
+// both L1 in-flight tables — the MSHR occupancy analogue of this
+// merge-based model.
+func (h *Hierarchy) InflightFills(now int64) int {
+	n := 0
+	for _, ready := range h.inflightL1D {
+		if ready > now {
+			n++
+		}
+	}
+	for _, ready := range h.inflightL1I {
+		if ready > now {
+			n++
+		}
+	}
+	return n
+}
+
+// AttachTelemetry registers the hierarchy's traffic counters and MSHR
+// occupancy with a telemetry registry. The counter funcs read the same
+// fields the end-of-run report uses, so the sampled series and the final
+// table always agree.
+func (h *Hierarchy) AttachTelemetry(reg *telemetry.Registry) {
+	reg.CounterFunc("mem.l1d.accesses", func() uint64 { return h.l1d.stats.Accesses })
+	reg.CounterFunc("mem.l1d.misses", func() uint64 { return h.l1d.stats.Misses })
+	reg.CounterFunc("mem.l1i.accesses", func() uint64 { return h.l1i.stats.Accesses })
+	reg.CounterFunc("mem.l1i.misses", func() uint64 { return h.l1i.stats.Misses })
+	reg.CounterFunc("mem.l2.accesses", func() uint64 { return h.l2.stats.Accesses })
+	reg.CounterFunc("mem.l2.misses", func() uint64 { return h.l2.stats.Misses })
+	reg.CounterFunc("mem.fills", func() uint64 { return h.MemFills })
+	reg.CounterFunc("mem.loads", func() uint64 { return h.LoadCount })
+	reg.CounterFunc("mem.stores", func() uint64 { return h.StoreCount })
+	reg.Gauge("mem.mshr.inflight", func(cycle int64) float64 {
+		return float64(h.InflightFills(cycle))
+	})
+}
 
 // TLBMissRatio returns the D-TLB miss ratio (0 if the TLB is disabled).
 func (h *Hierarchy) TLBMissRatio() float64 {

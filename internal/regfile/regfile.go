@@ -10,6 +10,8 @@
 // reading a given physical register cost right now?
 package regfile
 
+import "largewindow/internal/telemetry"
+
 // Model is the read-path timing model consulted by the register-read
 // pipeline stage.
 type Model interface {
@@ -166,6 +168,13 @@ func (t *TwoLevel) ReadDelay(r int, now int64) int64 {
 // (for tests).
 func (t *TwoLevel) L1Count() int { return t.count }
 
+// AttachTelemetry registers the two-level file's hit/miss counters under
+// the given prefix (e.g. "regfile.int").
+func (t *TwoLevel) AttachTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.CounterFunc(prefix+".l1.hits", func() uint64 { return t.Hits })
+	reg.CounterFunc(prefix+".l1.misses", func() uint64 { return t.Misses })
+}
+
 // Prefetch pulls a register into the L1 file without charging read
 // latency — the paper's §6 "prefetching in a two-level organization"
 // future-work idea, applied by the WIB at reinsertion time so operands
@@ -237,6 +246,13 @@ func (m *MultiBanked) ReadDelay(r int, now int64) int64 {
 func (m *MultiBanked) Reset() {
 	m.use = make(map[int64][]uint8)
 	m.conflicts, m.reads = 0, 0
+}
+
+// AttachTelemetry registers the banked file's read/conflict counters
+// under the given prefix.
+func (m *MultiBanked) AttachTelemetry(reg *telemetry.Registry, prefix string) {
+	reg.CounterFunc(prefix+".reads", func() uint64 { return m.reads })
+	reg.CounterFunc(prefix+".conflicts", func() uint64 { return m.conflicts })
 }
 
 // ConflictRate reports the fraction of reads delayed by bank conflicts.

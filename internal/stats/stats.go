@@ -18,7 +18,7 @@ func HarmonicMean(xs []float64) float64 {
 	}
 	var inv float64
 	for _, x := range xs {
-		if x <= 0 {
+		if !(x > 0) { // also rejects NaN (empty-run IPC artifacts)
 			return 0
 		}
 		inv += 1 / x
@@ -74,15 +74,23 @@ func (t *Table) AddNote(format string, args ...interface{}) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
-// Render writes the table.
+// Render writes the table. It tolerates degenerate shapes from empty
+// runs: no headers (column widths come from the rows), ragged rows wider
+// than the header, and tables with no rows at all.
 func (t *Table) Render(w io.Writer) {
-	widths := make([]int, len(t.Headers))
+	nCols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > nCols {
+			nCols = len(r)
+		}
+	}
+	widths := make([]int, nCols)
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
 	for _, r := range t.Rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -104,8 +112,10 @@ func (t *Table) Render(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
-	line(t.Headers)
-	fmt.Fprintln(w, strings.Repeat("-", total))
+	if len(t.Headers) > 0 {
+		line(t.Headers)
+		fmt.Fprintln(w, strings.Repeat("-", total))
+	}
 	for _, r := range t.Rows {
 		line(r)
 	}

@@ -23,6 +23,9 @@ func TestHarmonicMean(t *testing.T) {
 	if got := HarmonicMean([]float64{1, -2}); got != 0 {
 		t.Errorf("HM with negative = %v", got)
 	}
+	if got := HarmonicMean([]float64{1, math.NaN()}); got != 0 {
+		t.Errorf("HM with NaN = %v", got)
+	}
 }
 
 func TestHarmonicLEArithmetic(t *testing.T) {
@@ -106,5 +109,91 @@ func TestTableRenderNoTitle(t *testing.T) {
 	tbl.Render(&sb)
 	if strings.Contains(sb.String(), "=") {
 		t.Error("untitled table rendered a title rule")
+	}
+}
+
+// TestTableRenderDegenerate covers the empty-run shapes a zero-cycle or
+// failed sweep produces: no rows, no headers, ragged rows wider than the
+// header, and a fully empty table. None may panic, and header-less
+// tables must still align their columns.
+func TestTableRenderDegenerate(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() *Table
+		want    []string // substrings that must appear
+		wantNot []string // substrings that must not appear
+		aligned [2]string
+	}{
+		{
+			name:  "empty table",
+			build: func() *Table { return &Table{} },
+		},
+		{
+			name: "headers only, no rows",
+			build: func() *Table {
+				return &Table{Headers: []string{"bench", "ipc"}}
+			},
+			want: []string{"bench", "ipc", "---"},
+		},
+		{
+			name: "rows only, no headers",
+			build: func() *Table {
+				tbl := &Table{}
+				tbl.AddRow("treeadd", 0.0)
+				tbl.AddRow("em3d-long-name", 1.25)
+				return tbl
+			},
+			want:    []string{"treeadd", "em3d-long-name", "0.000", "1.250"},
+			wantNot: []string{"---"},
+			aligned: [2]string{"0.000", "1.250"},
+		},
+		{
+			name: "row wider than header",
+			build: func() *Table {
+				tbl := &Table{Headers: []string{"bench"}}
+				tbl.AddRow("mgrid", "extra", "cells")
+				return tbl
+			},
+			want: []string{"bench", "mgrid", "extra", "cells"},
+		},
+		{
+			name: "zero-cycle run rendered",
+			build: func() *Table {
+				tbl := &Table{Title: "empty run", Headers: []string{"bench", "ipc", "speedup"}}
+				tbl.AddRow("treeadd", HarmonicMean(nil), Speedup(0, 0))
+				return tbl
+			},
+			want: []string{"empty run", "treeadd", "0.000"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			tc.build().Render(&sb) // must not panic
+			out := sb.String()
+			for _, w := range tc.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("render missing %q in:\n%s", w, out)
+				}
+			}
+			for _, w := range tc.wantNot {
+				if strings.Contains(out, w) {
+					t.Errorf("render unexpectedly contains %q in:\n%s", w, out)
+				}
+			}
+			if tc.aligned[0] != "" {
+				var cols []int
+				for _, l := range strings.Split(out, "\n") {
+					for _, cell := range tc.aligned {
+						if i := strings.Index(l, cell); i >= 0 {
+							cols = append(cols, i)
+						}
+					}
+				}
+				if len(cols) != 2 || cols[0] != cols[1] {
+					t.Errorf("header-less columns misaligned (%v):\n%s", cols, out)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,165 @@
+// Package telemetry is the simulator's observability layer: typed
+// counters, gauges, and histograms registered by name in a Registry, a
+// cycle-interval Sampler that writes a JSONL time series (see DESIGN.md
+// "Observability" for the schema), and renderers that turn archived
+// per-instruction lifecycle records into Chrome trace-event JSON and a
+// Kanata-style pipeline view.
+//
+// The package is designed to be zero-cost when disabled: instrumented
+// code holds a nil collector pointer and guards every probe with a single
+// nil check, so a run with telemetry off pays only untaken branches.
+// Metric types are plain (non-atomic) because the cycle-level core is
+// single-threaded; one Collector must not be shared across concurrently
+// running processors.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter is a monotonically increasing count, owned by the instrumented
+// code and sampled (with interval deltas) by the Sampler.
+type Counter struct{ v uint64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.v += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the current cumulative count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Histogram is a fixed-bucket distribution. Bounds are inclusive upper
+// bounds in ascending order; one implicit overflow bucket catches values
+// beyond the last bound.
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Mean returns the mean observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// snapshot copies the histogram state for a sample record.
+func (h *Histogram) snapshot() HistSnapshot {
+	return HistSnapshot{
+		Bounds: h.bounds,
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.n,
+	}
+}
+
+// Registry holds the named metrics of one simulation run. Names are
+// dotted paths ("core.commit.instrs", "mem.l1d.miss_ratio"); registration
+// order is preserved in sample output for stable, diffable streams.
+type Registry struct {
+	names      []string
+	counters   map[string]*Counter
+	counterFns map[string]func() uint64
+	gauges     map[string]func(cycle int64) float64
+	hists      map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		counterFns: make(map[string]func() uint64),
+		gauges:     make(map[string]func(int64) float64),
+		hists:      make(map[string]*Histogram),
+	}
+}
+
+func (r *Registry) record(name string) {
+	r.names = append(r.names, name)
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.record(name)
+	return c
+}
+
+// CounterFunc registers a source-backed counter: fn is read at sample
+// time and must be monotonically non-decreasing (interval deltas are
+// derived from it). It lets subsystems that already keep their own
+// counters (caches, predictors) publish them without double counting.
+func (r *Registry) CounterFunc(name string, fn func() uint64) {
+	if _, ok := r.counterFns[name]; !ok {
+		r.record(name)
+	}
+	r.counterFns[name] = fn
+}
+
+// Gauge registers an instantaneous value read at sample time; fn receives
+// the sample cycle so occupancy-style gauges can age out stale state.
+func (r *Registry) Gauge(name string, fn func(cycle int64) float64) {
+	if _, ok := r.gauges[name]; !ok {
+		r.record(name)
+	}
+	r.gauges[name] = fn
+}
+
+// Histogram registers (or returns the existing) histogram under name.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := NewHistogram(bounds...)
+	r.hists[name] = h
+	r.record(name)
+	return h
+}
+
+// Names returns every registered metric name in registration order.
+func (r *Registry) Names() []string { return append([]string(nil), r.names...) }
+
+// counterValue reads a counter or counter-func by name.
+func (r *Registry) counterValue(name string) (uint64, bool) {
+	if c, ok := r.counters[name]; ok {
+		return c.v, true
+	}
+	if fn, ok := r.counterFns[name]; ok {
+		return fn(), true
+	}
+	return 0, false
+}

@@ -18,4 +18,20 @@ go test -race ./...
 echo "== fault-injection smoke sweep =="
 go test -count=1 -run 'TestCampaignDetectsEveryFault|TestWatchdogFaultsBounded' ./internal/fault/
 
+echo "== telemetry smoke =="
+# End-to-end: a sampled WIB run must produce artifacts that wibtrace
+# validates (JSONL series, Chrome trace, Kanata stream).
+teldir="$(mktemp -d)"
+trap 'rm -rf "$teldir"' EXIT
+go run ./cmd/wibsim -bench mgrid -scale test -config wib -instr 200000 \
+    -telemetry -telemetry-out "$teldir/mgrid.jsonl" -sample-interval 500 \
+    -trace-out "$teldir/mgrid.trace.json" -kanata "$teldir/mgrid.kanata" \
+    >/dev/null
+go run ./cmd/wibtrace -render "$teldir/mgrid.jsonl" >/dev/null
+go run ./cmd/wibtrace -render "$teldir/mgrid.trace.json" >/dev/null
+go run ./cmd/wibtrace -render "$teldir/mgrid.kanata" >/dev/null
+
+echo "== telemetry overhead (disabled path must stay near-free) =="
+go test -count=1 -run TestDisabledTelemetryOverhead -v ./internal/telemetry/ | grep -E 'overhead|PASS|FAIL'
+
 echo "check: all gates passed"
