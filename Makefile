@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench experiments
+.PHONY: build test check bench bench-full experiments
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,13 @@ test:
 check:
 	sh scripts/check.sh
 
+# Benchmark snapshot: throughput + Fig4 at fixed -benchtime, written to
+# BENCH_PR3.json (the reference scripts/check.sh gates against).
 bench:
+	sh scripts/bench.sh
+
+# Full figure/table benchmark sweep (slow).
+bench-full:
 	$(GO) test -bench=. -benchmem
 
 experiments:

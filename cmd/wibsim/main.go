@@ -61,6 +61,7 @@ func main() {
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON of traced instructions")
 		kanataOut = flag.String("kanata", "", "write a Konata-compatible pipeline view of traced instructions")
 		pprofOut  = flag.String("pprof", "", "write a CPU profile of the simulator run")
+		noFF      = flag.Bool("no-fast-forward", false, "simulate every idle cycle (disable the fast-forward optimization)")
 	)
 	flag.Parse()
 
@@ -121,6 +122,7 @@ func main() {
 	}
 	cfg.DeadlockCycles = *watchdog
 	cfg.LockstepOracle = *lockstep
+	cfg.NoFastForward = *noFF
 
 	prog := spec.Build(sc)
 	p, err := core.New(cfg, prog)
@@ -197,6 +199,10 @@ func main() {
 	fmt.Printf("avg occupancy     %.1f (active list)\n", st.AvgROBOccupancy())
 	fmt.Printf("MLP               %.2f avg / %d peak outstanding L2 misses (%d miss cycles)\n",
 		st.AvgMLP(), st.MLPPeak, st.MLPCycles())
+	if skipped, jumps := p.FastForwardStats(); jumps > 0 {
+		fmt.Printf("fast-forward      %d idle cycles skipped in %d jumps (%.1f%% of cycles)\n",
+			skipped, jumps, 100*float64(skipped)/float64(st.Cycles))
+	}
 	if cfg.WIB != nil {
 		fmt.Printf("WIB insertions    %d total, %d reinsertions, avg %.2f / max %d per instruction\n",
 			st.WIBInsertions, st.WIBReinsertions, st.AvgWIBInsertions(), st.WIBMaxInsertions)

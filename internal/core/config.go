@@ -196,8 +196,16 @@ type Config struct {
 
 	// Debug enables per-cycle structural invariant checking (register
 	// free-list consistency, queue occupancy accounting, block-pool
-	// conservation). Slow; used by the test suite.
+	// conservation). Slow; used by the test suite. Debug also disables
+	// idle-cycle fast-forwarding so the checker observes every cycle.
 	Debug bool
+
+	// NoFastForward disables idle-cycle fast-forwarding: the simulator
+	// executes every cycle individually even when the pipeline provably
+	// cannot do work until a scheduled event. Statistics are bit-identical
+	// either way (the equivalence test enforces it); the flag exists for
+	// debugging and for that test.
+	NoFastForward bool
 
 	// DeadlockCycles is the forward-progress watchdog threshold: a run
 	// aborts with a structured deadlock report when no instruction commits

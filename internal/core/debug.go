@@ -29,7 +29,7 @@ func (p *Processor) DebugDump(n int) string {
 		}
 		fmt.Fprintf(&b, "wib: occupancy=%d freeCols=%d/%d groups=%d(rows=%d) heap=%d banks=%d rrNext=%d nextAccess=%d\n",
 			p.wib.occupancy, len(p.wib.free), len(p.wib.cols),
-			len(p.wib.groups), rows, len(p.wib.elig), bankRows, p.wib.rrNext, p.wib.nextAccess)
+			len(p.wib.groups), rows, p.wib.elig.Len(), bankRows, p.wib.rrNext, p.wib.nextAccess)
 		for c := range p.wib.cols {
 			if p.wib.cols[c].active {
 				fmt.Fprintf(&b, "  col %d active loadSeq=%d rows=%d\n", c, p.wib.cols[c].loadSeq, len(p.wib.cols[c].rows))

@@ -1,6 +1,6 @@
 package core
 
-import "container/heap"
+import "largewindow/internal/heap"
 
 // eventKind discriminates scheduled completions.
 type eventKind uint8
@@ -19,43 +19,85 @@ type event struct {
 	seq   uint64
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].cycle < h[j].cycle }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// packedEvent is the in-heap representation: 16 bytes instead of 24, so
+// heap sifts copy two machine words instead of hitting duffcopy. The
+// payload word packs kind (4 bits), rob (16 bits), and seq (44 bits);
+// schedule panics if a field ever outgrows its slot. Only cycle is
+// compared, so the heap's pop order is identical to the unpacked form.
+type packedEvent struct {
+	cycle int64
+	word  uint64
 }
 
-// eventQueue wraps the heap with typed operations.
-type eventQueue struct{ h eventHeap }
+const (
+	evSeqBits   = 44
+	evRobBits   = 16
+	evSeqMask   = 1<<evSeqBits - 1
+	evRobMask   = 1<<evRobBits - 1
+	evRobShift  = evSeqBits
+	evKindShift = evSeqBits + evRobBits
+)
 
-func (q *eventQueue) schedule(e event) { heap.Push(&q.h, e) }
+func packEvent(e event) packedEvent {
+	if e.seq > evSeqMask || uint32(e.rob) > evRobMask {
+		panic("core: event field overflows packed representation")
+	}
+	return packedEvent{
+		cycle: e.cycle,
+		word:  uint64(e.kind)<<evKindShift | uint64(uint32(e.rob))<<evRobShift | e.seq,
+	}
+}
+
+func (pe packedEvent) unpack() event {
+	return event{
+		cycle: pe.cycle,
+		kind:  eventKind(pe.word >> evKindShift),
+		rob:   int32(pe.word >> evRobShift & evRobMask),
+		seq:   pe.word & evSeqMask,
+	}
+}
+
+func packedEventBefore(a, b packedEvent) bool { return a.cycle < b.cycle }
+
+// eventQueue wraps a non-boxing min-heap with typed operations.
+type eventQueue struct{ h heap.Heap[packedEvent] }
+
+func newEventQueue() eventQueue {
+	return eventQueue{h: heap.NewWithCapacity(packedEventBefore, 64)}
+}
+
+func (q *eventQueue) schedule(e event) { q.h.Push(packEvent(e)) }
 
 // popDue removes and returns the next event with cycle <= now, if any.
 func (q *eventQueue) popDue(now int64) (event, bool) {
-	if len(q.h) == 0 || q.h[0].cycle > now {
+	if q.h.Len() == 0 || q.h.Peek().cycle > now {
 		return event{}, false
 	}
-	return heap.Pop(&q.h).(event), true
+	return q.h.Pop().unpack(), true
 }
 
 // nextCycle returns the cycle of the earliest pending event, or -1.
 func (q *eventQueue) nextCycle() int64 {
-	if len(q.h) == 0 {
+	if q.h.Len() == 0 {
 		return -1
 	}
-	return q.h[0].cycle
+	return q.h.Peek().cycle
 }
 
-func (q *eventQueue) len() int { return len(q.h) }
+func (q *eventQueue) len() int { return q.h.Len() }
+
+// pending returns the scheduled events in heap order for read-only
+// diagnostic scans (watchdog reports, fault-injection victim selection).
+// It allocates; diagnostics are off the hot path.
+func (q *eventQueue) pending() []event {
+	packed := q.h.Slice()
+	out := make([]event, len(packed))
+	for i, pe := range packed {
+		out[i] = pe.unpack()
+	}
+	return out
+}
 
 // drop removes the i-th heap element (used by fault injection to model a
 // lost completion wakeup).
-func (q *eventQueue) drop(i int) { heap.Remove(&q.h, i) }
+func (q *eventQueue) drop(i int) { q.h.Remove(i) }

@@ -195,7 +195,7 @@ func (p *Processor) injectColumnLeak(rng *rand.Rand) bool {
 // event queue — the load it belonged to never finishes.
 func (p *Processor) injectDropWakeup(rng *rand.Rand) bool {
 	var loads []int
-	for i, ev := range p.events.h {
+	for i, ev := range p.events.pending() {
 		if ev.kind == evLoadDone {
 			if e := p.liveEntry(ev.rob, ev.seq); e != nil && e.stage == stIssued {
 				loads = append(loads, i)

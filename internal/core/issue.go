@@ -1,8 +1,7 @@
 package core
 
 import (
-	"container/heap"
-
+	"largewindow/internal/heap"
 	"largewindow/internal/isa"
 )
 
@@ -12,19 +11,7 @@ type readyItem struct {
 	rob int32
 }
 
-type readyHeap []readyItem
-
-func (h readyHeap) Len() int            { return len(h) }
-func (h readyHeap) Less(i, j int) bool  { return h[i].seq < h[j].seq }
-func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(readyItem)) }
-func (h *readyHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
+func readyBefore(a, b readyItem) bool { return a.seq < b.seq }
 
 // issueQueue models one issue queue: a capacity (entries live in the ROB;
 // only occupancy is tracked here) plus the wakeup-select request heap.
@@ -32,27 +19,31 @@ func (h *readyHeap) Pop() interface{} {
 type issueQueue struct {
 	size  int
 	count int
-	ready readyHeap
+	ready heap.Heap[readyItem]
 }
 
-func newIssueQueue(size int) *issueQueue { return &issueQueue{size: size} }
+func newIssueQueue(size int) *issueQueue {
+	return &issueQueue{size: size, ready: heap.NewWithCapacity(readyBefore, size)}
+}
 
 func (q *issueQueue) full() bool { return q.count >= q.size }
 
 func (q *issueQueue) request(seq uint64, rob int32) {
-	heap.Push(&q.ready, readyItem{seq: seq, rob: rob})
+	q.ready.Push(readyItem{seq: seq, rob: rob})
 }
 
 func (q *issueQueue) pop() (readyItem, bool) {
-	if len(q.ready) == 0 {
+	if q.ready.Len() == 0 {
 		return readyItem{}, false
 	}
-	return heap.Pop(&q.ready).(readyItem), true
+	return q.ready.Pop(), true
 }
 
 // fuPools tracks functional-unit availability per class (paper Table 1).
+// The per-class pools live in a fixed array indexed by isa.Class — the
+// lookup on the issue path is one bounds-checked load, not a map probe.
 type fuPools struct {
-	pools map[isa.Class]*fuPool
+	pools [isa.NumClasses]*fuPool
 }
 
 type fuPool struct {
@@ -73,19 +64,18 @@ func newFUPools(cfg Config) fuPools {
 		return p
 	}
 	alu := mk(cfg.NumIntALU, cfg.LatIntALU, true)
-	pools := map[isa.Class]*fuPool{
-		isa.ClassIntALU:  alu,
-		isa.ClassBranch:  alu, // branches execute on the integer ALUs
-		isa.ClassJump:    alu,
-		isa.ClassLoad:    alu, // address generation
-		isa.ClassStore:   alu,
-		isa.ClassIntMult: mk(cfg.NumIntMult, cfg.LatIntMult, true),
-		isa.ClassFPAdd:   mk(cfg.NumFPAdd, cfg.LatFPAdd, true),
-		isa.ClassFPMult:  mk(cfg.NumFPMult, cfg.LatFPMult, true),
-		isa.ClassFPDiv:   mk(cfg.NumFPDiv, cfg.LatFPDiv, false),
-		isa.ClassFPSqrt:  mk(cfg.NumFPSqrt, cfg.LatFPSqrt, false),
-	}
-	return fuPools{pools: pools}
+	var f fuPools
+	f.pools[isa.ClassIntALU] = alu
+	f.pools[isa.ClassBranch] = alu // branches execute on the integer ALUs
+	f.pools[isa.ClassJump] = alu
+	f.pools[isa.ClassLoad] = alu // address generation
+	f.pools[isa.ClassStore] = alu
+	f.pools[isa.ClassIntMult] = mk(cfg.NumIntMult, cfg.LatIntMult, true)
+	f.pools[isa.ClassFPAdd] = mk(cfg.NumFPAdd, cfg.LatFPAdd, true)
+	f.pools[isa.ClassFPMult] = mk(cfg.NumFPMult, cfg.LatFPMult, true)
+	f.pools[isa.ClassFPDiv] = mk(cfg.NumFPDiv, cfg.LatFPDiv, false)
+	f.pools[isa.ClassFPSqrt] = mk(cfg.NumFPSqrt, cfg.LatFPSqrt, false)
+	return f
 }
 
 // tryIssue reserves a unit of the class at cycle now and returns the
@@ -167,13 +157,17 @@ func (p *Processor) queueOf(e *robEntry) *issueQueue {
 // decrement their unsatisfied count and request issue at zero. With the
 // eager-pretend optimization, a wait broadcast promotes waiters
 // immediately.
+//
+// The waiter list's backing array is retained on the register: re-arms
+// (issued stores kept waiting by a wait broadcast) compact in place, so
+// steady-state broadcasts allocate nothing.
 func (p *Processor) wakeWaiters(fp bool, idx int32, waitSet bool) {
 	r := p.pr(fp, idx)
 	if len(r.waiters) == 0 {
 		return
 	}
 	ws := r.waiters
-	r.waiters = nil
+	r.waiters = r.waiters[:0]
 	eager := waitSet && p.wib != nil && p.wib.cfg.EagerPretend
 	for _, w := range ws {
 		e := p.liveEntry(w.rob, w.seq)
@@ -182,7 +176,9 @@ func (p *Processor) wakeWaiters(fp bool, idx int32, waitSet bool) {
 		}
 		if e.awaitData && e.stage == stIssued {
 			// An issued store waiting for its data operand: only a true
-			// result delivers it; a wait broadcast keeps it waiting.
+			// result delivers it; a wait broadcast keeps it waiting. The
+			// re-append writes at or before the slot being read, so the
+			// in-place reuse of ws's backing array is safe.
 			if waitSet {
 				r.waiters = append(r.waiters, w)
 			} else {
@@ -219,23 +215,25 @@ func (p *Processor) issue() {
 
 // retryDeferredLoads re-requests loads that failed structural checks
 // (store-wait gating, forwarding stalls, bit-vector exhaustion) on a
-// previous cycle.
+// previous cycle. The two defer lists ping-pong so the per-cycle drain
+// allocates nothing.
 func (p *Processor) retryDeferredLoads() {
 	if len(p.deferredLoads) == 0 {
 		return
 	}
-	pending := append([]readyItem(nil), p.deferredLoads...)
-	p.deferredLoads = p.deferredLoads[:0]
+	pending := p.deferredLoads
+	p.deferredLoads = p.deferredScratch[:0]
 	for _, it := range pending {
 		if e := p.liveEntry(it.rob, it.seq); e != nil && e.stage == stRequest {
 			p.queueOf(e).request(e.seq, it.rob)
 		}
 	}
+	p.deferredScratch = pending[:0]
 }
 
 func (p *Processor) issueFrom(q *issueQueue, width int) {
 	issued := 0
-	var setAside []readyItem
+	setAside := p.setAsideScratch[:0]
 	for issued < width {
 		item, ok := q.pop()
 		if !ok {
@@ -318,11 +316,12 @@ func (p *Processor) issueFrom(q *issueQueue, width int) {
 		issued++
 	}
 	for _, it := range setAside {
-		q.ready = append(q.ready, it)
+		q.ready.Append(it)
 	}
 	if len(setAside) > 0 {
-		heap.Init(&q.ready)
+		q.ready.Init()
 	}
+	p.setAsideScratch = setAside[:0]
 	if p.tel != nil && issued > 0 {
 		p.tel.cIssue.Add(uint64(issued))
 	}

@@ -201,5 +201,19 @@ func (s *storeWait) tick(now int64) {
 	}
 }
 
+// fastForward replays tick for every cycle up to and including upto in
+// closed form: one clear at nextClear (if reached), then one per interval,
+// leaving nextClear exactly where consecutive ticks would have.
+func (s *storeWait) fastForward(upto int64) {
+	if s.interval <= 0 || upto < s.nextClear {
+		return
+	}
+	for i := range s.bits {
+		s.bits[i] = false
+	}
+	n := (upto - s.nextClear) / s.interval
+	s.nextClear += (n + 1) * s.interval
+}
+
 func (s *storeWait) predictsWait(pc uint64) bool { return s.bits[pc&s.mask] }
 func (s *storeWait) set(pc uint64)               { s.bits[pc&s.mask] = true }

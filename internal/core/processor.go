@@ -6,6 +6,7 @@ import (
 
 	"largewindow/internal/bpred"
 	"largewindow/internal/emu"
+	"largewindow/internal/heap"
 	"largewindow/internal/isa"
 	"largewindow/internal/mem"
 	"largewindow/internal/regfile"
@@ -152,7 +153,7 @@ type Processor struct {
 
 	// l2MissReady holds the fill-completion cycles of outstanding demand-
 	// load L2 misses, for the MLP statistic (min-heap, pruned per cycle).
-	l2MissReady int64Heap
+	l2MissReady heap.Heap[int64]
 
 	// oracle is the lockstep architectural emulator (Config.LockstepOracle):
 	// every committed instruction is stepped and compared, so a timing-core
@@ -168,11 +169,21 @@ type Processor struct {
 	halted  bool
 	haltSeq uint64 // seq of the committed Halt
 
+	// Idle-cycle fast-forward diagnostics (see fastforward.go).
+	ffCycles int64
+	ffJumps  int64
+
 	stats Stats
 
 	// retry lists for loads that could not issue this cycle (store-wait,
-	// forwarding stall, bit-vector exhaustion).
-	deferredLoads []readyItem
+	// forwarding stall, bit-vector exhaustion). deferredScratch ping-pongs
+	// with deferredLoads so the per-cycle drain never allocates.
+	deferredLoads   []readyItem
+	deferredScratch []readyItem
+
+	// setAsideScratch holds issue requests that lost FU arbitration this
+	// cycle while the remaining selections proceed (reused every cycle).
+	setAsideScratch []readyItem
 }
 
 type ifqEntry struct {
@@ -204,7 +215,9 @@ func New(cfg Config, prog *isa.Program) (*Processor, error) {
 	p.intIQ = newIssueQueue(cfg.IntIQSize)
 	p.fpIQ = newIssueQueue(cfg.FPIQSize)
 	p.fus = newFUPools(cfg)
+	p.events = newEventQueue()
 	p.lsq = newLSQ(cfg.LoadQueue, cfg.StoreQueue)
+	p.l2MissReady = heap.NewWithCapacity(int64Before, 16)
 
 	switch cfg.RegFile {
 	case RFTwoLevel:
@@ -289,6 +302,7 @@ func (p *Processor) RunContext(ctx context.Context, maxInstr uint64, maxCycles i
 	done := ctx.Done()
 	lastCommit := p.stats.Committed
 	lastProgress := p.now
+	ff := p.fastForwardEnabled()
 	for !p.halted {
 		if (maxInstr > 0 && p.stats.Committed >= maxInstr) || (maxCycles > 0 && p.now >= maxCycles) {
 			p.stats.finish(p.now, p.cfg)
@@ -312,6 +326,19 @@ func (p *Processor) RunContext(ctx context.Context, maxInstr uint64, maxCycles i
 		} else if watchdog > 0 && p.now-lastProgress > watchdog {
 			p.stats.finish(p.now, p.cfg)
 			return &p.stats, p.deadlockError(lastProgress)
+		}
+		if ff && !p.halted {
+			// Jump to just before the next cycle that can do work. The
+			// limit keeps the budget check and the watchdog firing at
+			// exactly the cycles they would fire at without skipping.
+			limit := farFuture
+			if watchdog > 0 {
+				limit = lastProgress + watchdog + 1
+			}
+			if maxCycles > 0 && maxCycles < limit {
+				limit = maxCycles
+			}
+			p.fastForward(limit)
 		}
 	}
 	p.stats.finish(p.now, p.cfg)
@@ -341,7 +368,7 @@ func (p *Processor) cycle() {
 		p.stats.robOccupancy += uint64(p.robCount)
 		p.stats.occupancySamples++
 	}
-	if len(p.l2MissReady) > 0 {
+	if p.l2MissReady.Len() > 0 {
 		p.accountMLP()
 	}
 	if p.tel != nil {

@@ -21,11 +21,14 @@ func (p *Processor) dispatch() {
 	}
 }
 
-// dispatchOne renames one instruction; it returns false when a structural
-// resource (active list, registers, issue queue, LSQ) is exhausted.
-func (p *Processor) dispatchOne(fe *ifqEntry) bool {
+// dispatchStalled reports whether renaming fe would stall on a structural
+// resource (active list, free registers, LSQ, issue queue). It is the
+// read-only prefix of dispatchOne — dispatchOne calls it before touching
+// any state, and the idle-cycle fast-forward uses it to prove the fetch
+// queue head cannot advance, so the two can never diverge.
+func (p *Processor) dispatchStalled(fe *ifqEntry) bool {
 	if p.robCount == int32(len(p.rob)) {
-		return false
+		return true
 	}
 	in := fe.in
 	class := in.Op.Class()
@@ -35,19 +38,17 @@ func (p *Processor) dispatchOne(fe *ifqEntry) bool {
 	if needDest {
 		if dest.FP {
 			if len(p.fpFree) == 0 {
-				return false
+				return true
 			}
 		} else if len(p.intFree) == 0 {
-			return false
+			return true
 		}
 	}
-	isLoad := class == isa.ClassLoad
-	isStore := class == isa.ClassStore
-	if isLoad && p.lsq.loadFull() {
-		return false
+	if class == isa.ClassLoad && p.lsq.loadFull() {
+		return true
 	}
-	if isStore && p.lsq.storeFull() {
-		return false
+	if class == isa.ClassStore && p.lsq.storeFull() {
+		return true
 	}
 	needIQ := true
 	switch class {
@@ -56,17 +57,37 @@ func (p *Processor) dispatchOne(fe *ifqEntry) bool {
 	case isa.ClassJump:
 		needIQ = in.Op == isa.OpJr // J/Jal complete at rename
 	}
-	fpIQ := class == isa.ClassFPAdd || class == isa.ClassFPMult ||
-		class == isa.ClassFPDiv || class == isa.ClassFPSqrt
 	if needIQ {
 		q := p.intIQ
-		if fpIQ {
+		if isFPClass(class) {
 			q = p.fpIQ
 		}
 		if q.full() {
-			return false
+			return true
 		}
 	}
+	return false
+}
+
+// isFPClass reports whether the class dispatches to the FP issue queue.
+func isFPClass(class isa.Class) bool {
+	return class == isa.ClassFPAdd || class == isa.ClassFPMult ||
+		class == isa.ClassFPDiv || class == isa.ClassFPSqrt
+}
+
+// dispatchOne renames one instruction; it returns false when a structural
+// resource (active list, registers, issue queue, LSQ) is exhausted.
+func (p *Processor) dispatchOne(fe *ifqEntry) bool {
+	if p.dispatchStalled(fe) {
+		return false
+	}
+	in := fe.in
+	class := in.Op.Class()
+	dest := in.Dest()
+	needDest := dest.Valid && (dest.FP || dest.N != isa.Zero)
+	isLoad := class == isa.ClassLoad
+	isStore := class == isa.ClassStore
+	fpIQ := isFPClass(class)
 
 	idx := p.robTail
 	e := &p.rob[idx]

@@ -52,14 +52,14 @@ func (w *wib) sliceProcess(p *Processor, dispatchSlots int) int {
 	width := w.cfg.SliceWidth
 	usedDispatch := 0
 	executed := 0
-	var putBack []wibRow
+	putBack := w.putBackScratch[:0]
 	budget := width + dispatchSlots + 8
-	for budget > 0 && len(w.elig) > 0 && (executed < width || usedDispatch < dispatchSlots) {
+	for budget > 0 && w.elig.Len() > 0 && (executed < width || usedDispatch < dispatchSlots) {
 		budget--
-		row := w.elig[0]
+		row := w.elig.Peek()
 		e := p.liveEntry(row.rob, row.seq)
 		if e == nil || e.stage != stEligible {
-			popRow(&w.elig)
+			w.elig.Pop()
 			continue
 		}
 		if sliceComputable(e.class) {
@@ -67,32 +67,32 @@ func (w *wib) sliceProcess(p *Processor, dispatchSlots int) int {
 				// Slice core saturated this cycle; leave the row for the
 				// next one. Nothing younger may bypass it onto the slice
 				// core, but reinsertable rows behind it may still proceed.
-				popRow(&w.elig)
+				w.elig.Pop()
 				putBack = append(putBack, row)
 				continue
 			}
 			switch p.sliceTryExecute(row.rob, e) {
 			case sliceRan:
-				popRow(&w.elig)
+				w.elig.Pop()
 				w.unpark()
 				executed++
 				p.stats.SliceExecuted++
 			case sliceReparked:
-				popRow(&w.elig)
+				w.elig.Pop()
 			case sliceNotReady:
-				popRow(&w.elig)
+				w.elig.Pop()
 				putBack = append(putBack, row)
 			}
 			continue
 		}
 		// Memory op or branch: back into the issue queue.
 		if usedDispatch >= dispatchSlots {
-			popRow(&w.elig)
+			w.elig.Pop()
 			putBack = append(putBack, row)
 			continue
 		}
 		ins, blocked := w.tryReinsertRow(p, row)
-		popRow(&w.elig)
+		w.elig.Pop()
 		if ins {
 			usedDispatch++
 		} else if blocked {
@@ -100,12 +100,13 @@ func (w *wib) sliceProcess(p *Processor, dispatchSlots int) int {
 		}
 	}
 	for _, r := range putBack {
-		w.elig = append(w.elig, r)
+		w.elig.Append(r)
 	}
 	if len(putBack) > 0 {
 		// Restore heap order after the bulk re-push.
-		initRowHeap(&w.elig)
+		w.elig.Init()
 	}
+	w.putBackScratch = putBack[:0]
 	return usedDispatch
 }
 
@@ -150,41 +151,4 @@ func (p *Processor) sliceTryExecute(rob int32, e *robEntry) sliceOutcome {
 		return sliceReparked
 	}
 	return sliceNotReady
-}
-
-// popRow removes the heap minimum.
-func popRow(h *rowHeap) wibRow {
-	old := *h
-	top := old[0]
-	n := len(old)
-	old[0] = old[n-1]
-	*h = old[:n-1]
-	siftDownRows(*h, 0)
-	return top
-}
-
-func initRowHeap(h *rowHeap) {
-	n := len(*h)
-	for i := n/2 - 1; i >= 0; i-- {
-		siftDownRows(*h, i)
-	}
-}
-
-func siftDownRows(h rowHeap, i int) {
-	n := len(h)
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && h[l].seq < h[small].seq {
-			small = l
-		}
-		if r < n && h[r].seq < h[small].seq {
-			small = r
-		}
-		if small == i {
-			return
-		}
-		h[i], h[small] = h[small], h[i]
-		i = small
-	}
 }

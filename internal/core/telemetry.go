@@ -1,10 +1,6 @@
 package core
 
-import (
-	"container/heap"
-
-	"largewindow/internal/telemetry"
-)
+import "largewindow/internal/telemetry"
 
 // This file wires the observability layer through the core. The design
 // rule is zero cost when disabled: the Processor holds a *telemetryState
@@ -63,7 +59,7 @@ func (p *Processor) AttachTelemetry(col *telemetry.Collector) {
 	reg.Gauge("core.iq.int.occupancy", func(int64) float64 { return float64(p.intIQ.count) })
 	reg.Gauge("core.iq.fp.occupancy", func(int64) float64 { return float64(p.fpIQ.count) })
 	reg.Gauge("core.ifq.occupancy", func(int64) float64 { return float64(p.ifqN) })
-	reg.Gauge("mem.mlp.outstanding", func(int64) float64 { return float64(len(p.l2MissReady)) })
+	reg.Gauge("mem.mlp.outstanding", func(int64) float64 { return float64(p.l2MissReady.Len()) })
 	if p.wib != nil {
 		reg.Gauge("wib.occupancy", func(int64) float64 { return float64(p.wib.occupancy) })
 		reg.Gauge("wib.bitvectors.free", func(int64) float64 { return float64(len(p.wib.free)) })
@@ -112,37 +108,25 @@ func TraceRecords(traces []InstrTrace) []telemetry.InstrRecord {
 	return out
 }
 
-// int64Heap is a min-heap of cycle numbers (outstanding L2-miss fill
-// completion times).
-type int64Heap []int64
-
-func (h int64Heap) Len() int            { return len(h) }
-func (h int64Heap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h int64Heap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *int64Heap) Push(x interface{}) { *h = append(*h, x.(int64)) }
-func (h *int64Heap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
+// int64Before orders the l2MissReady min-heap of cycle numbers
+// (outstanding L2-miss fill completion times).
+func int64Before(a, b int64) bool { return a < b }
 
 // noteL2Miss records a newly issued demand load that missed in the L2,
 // outstanding until cycle ready. The fill completes regardless of
 // squashes (the hardware does not cancel it), so no seq guard is needed.
 func (p *Processor) noteL2Miss(ready int64) {
-	heap.Push(&p.l2MissReady, ready)
+	p.l2MissReady.Push(ready)
 }
 
 // accountMLP retires completed fills and accumulates the paper's §2
 // motivation metric: the number of outstanding L2 load misses, averaged
 // over cycles during which at least one is outstanding, plus its peak.
 func (p *Processor) accountMLP() {
-	for len(p.l2MissReady) > 0 && p.l2MissReady[0] <= p.now {
-		heap.Pop(&p.l2MissReady)
+	for p.l2MissReady.Len() > 0 && p.l2MissReady.Peek() <= p.now {
+		p.l2MissReady.Pop()
 	}
-	if n := len(p.l2MissReady); n > 0 {
+	if n := p.l2MissReady.Len(); n > 0 {
 		p.stats.mlpSum += uint64(n)
 		p.stats.mlpCycles++
 		if n > p.stats.MLPPeak {
@@ -153,4 +137,4 @@ func (p *Processor) accountMLP() {
 
 // OutstandingL2Misses reports the number of demand-load L2 misses in
 // flight at the current cycle.
-func (p *Processor) OutstandingL2Misses() int { return len(p.l2MissReady) }
+func (p *Processor) OutstandingL2Misses() int { return p.l2MissReady.Len() }

@@ -35,12 +35,17 @@ func (t *InstrTrace) Latency() int64 {
 }
 
 // tracer records instruction lifecycles into a bounded ring. It is
-// attached to a Processor via Config.TraceCapacity.
+// attached to a Processor via Config.TraceCapacity. Records cycle through
+// a freelist: dispatch takes a pooled entry, archive deep-copies it into
+// the ring (whose slots own their Parks/Reinserts backing arrays) and
+// returns it to the pool, so a steady-state traced run stops allocating
+// once the pool warms up.
 type tracer struct {
 	active map[uint64]*InstrTrace // by seq, in flight
 	done   []InstrTrace           // archive ring
 	next   int
 	filled bool
+	pool   []*InstrTrace // freelist of recycled records
 }
 
 func newTracer(capacity int) *tracer {
@@ -50,10 +55,25 @@ func newTracer(capacity int) *tracer {
 	}
 }
 
-func (tr *tracer) dispatch(e *robEntry, fetched int64, now int64) {
-	tr.active[e.seq] = &InstrTrace{
-		Seq: e.seq, PC: e.pc, Instr: e.in, Fetched: fetched, Dispatch: now,
+// alloc takes a record from the pool (or mints one), with per-trip slices
+// emptied but their backing arrays retained.
+func (tr *tracer) alloc() *InstrTrace {
+	if n := len(tr.pool); n > 0 {
+		t := tr.pool[n-1]
+		tr.pool = tr.pool[:n-1]
+		return t
 	}
+	return &InstrTrace{}
+}
+
+func (tr *tracer) dispatch(e *robEntry, fetched int64, now int64) {
+	t := tr.alloc()
+	parks, reins := t.Parks[:0], t.Reinserts[:0]
+	*t = InstrTrace{
+		Seq: e.seq, PC: e.pc, Instr: e.in, Fetched: fetched, Dispatch: now,
+		Parks: parks, Reinserts: reins,
+	}
+	tr.active[e.seq] = t
 }
 
 func (tr *tracer) event(seq uint64, f func(*InstrTrace)) {
@@ -68,7 +88,15 @@ func (tr *tracer) archive(seq uint64) {
 		return
 	}
 	delete(tr.active, seq)
-	tr.done[tr.next] = *t
+	// Deep-copy into the ring slot, reusing the slot's own slice storage:
+	// the pooled record's Parks/Reinserts arrays go back to the pool with
+	// it, so ring entries and pooled entries never share backing.
+	d := &tr.done[tr.next]
+	parks, reins := d.Parks[:0], d.Reinserts[:0]
+	*d = *t
+	d.Parks = append(parks, t.Parks...)
+	d.Reinserts = append(reins, t.Reinserts...)
+	tr.pool = append(tr.pool, t)
 	tr.next++
 	if tr.next == len(tr.done) {
 		tr.next = 0

@@ -115,7 +115,7 @@ func (p *Processor) regState(fp bool, idx int32) string {
 // pendingEventFor reports whether a completion event is scheduled for the
 // instruction (diagnostic path only; O(events)).
 func (p *Processor) pendingEventFor(seq uint64) (int64, bool) {
-	for _, ev := range p.events.h {
+	for _, ev := range p.events.pending() {
 		if ev.seq == seq {
 			return ev.cycle, true
 		}

@@ -1,8 +1,9 @@
 package core
 
 import (
-	"container/heap"
-	"sort"
+	"slices"
+
+	"largewindow/internal/heap"
 )
 
 // This file implements the paper's contribution: the Waiting Instruction
@@ -36,19 +37,7 @@ type wibGroup struct {
 	rows    []wibRow // sorted by seq (program order)
 }
 
-type rowHeap []wibRow
-
-func (h rowHeap) Len() int            { return len(h) }
-func (h rowHeap) Less(i, j int) bool  { return h[i].seq < h[j].seq }
-func (h rowHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *rowHeap) Push(x interface{}) { *h = append(*h, x.(wibRow)) }
-func (h *rowHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
+func rowBefore(a, b wibRow) bool { return a.seq < b.seq }
 
 type wib struct {
 	cfg  WIBConfig
@@ -62,10 +51,18 @@ type wib struct {
 	bankPrio []int32
 
 	// Idealized / non-banked policies.
-	elig       rowHeap    // program-order policy
-	groups     []wibGroup // per-load policies
-	rrNext     int        // round-robin cursor over groups
-	nextAccess int64      // non-banked multicycle access gate
+	elig       heap.Heap[wibRow] // program-order policy
+	groups     []wibGroup        // per-load policies
+	rrNext     int               // round-robin cursor over groups
+	nextAccess int64             // non-banked multicycle access gate
+
+	// Per-cycle scratch buffers, reused so the steady-state reinsertion
+	// paths allocate nothing.
+	liveScratch    []wibRow
+	blockedScratch []wibRow
+	putBackScratch []wibRow
+	prioScratchA   []int32
+	prioScratchB   []int32
 
 	occupancy int // rows currently parked (stInWIB or stEligible)
 	peak      int
@@ -94,6 +91,7 @@ func newWIB(cfg WIBConfig, activeList, loadQueue int) *wib {
 		nCols = loadQueue
 	}
 	w := &wib{cfg: cfg, cols: make([]wibColumn, nCols), gens: make([]uint64, nCols)}
+	w.elig = heap.New(rowBefore)
 	for i := nCols - 1; i >= 0; i-- {
 		w.free = append(w.free, int32(i))
 	}
@@ -219,7 +217,7 @@ func (w *wib) completeColumn(p *Processor, c int32) {
 		throw(KindWIBBadColumn, 0, "completing dead bit-vector column %d", c)
 	}
 	col := &w.cols[c]
-	var live []wibRow
+	live := w.liveScratch[:0]
 	for _, r := range col.rows {
 		e := p.liveEntry(r.rob, r.seq)
 		if e == nil || e.stage != stInWIB || e.wibCol != c {
@@ -229,6 +227,7 @@ func (w *wib) completeColumn(p *Processor, c int32) {
 		live = append(live, r)
 	}
 	w.addEligible(col.loadSeq, live)
+	w.liveScratch = live[:0]
 	w.releaseBlocks(c)
 	col.active = false
 	col.rows = col.rows[:0]
@@ -236,7 +235,8 @@ func (w *wib) completeColumn(p *Processor, c int32) {
 }
 
 // addEligible routes newly eligible rows into the structure the selection
-// policy consumes.
+// policy consumes. live may be a reused scratch buffer: every branch
+// copies the rows into policy-owned storage.
 func (w *wib) addEligible(loadSeq uint64, live []wibRow) {
 	switch {
 	case w.cfg.Org == OrgPoolOfBlocks:
@@ -249,13 +249,68 @@ func (w *wib) addEligible(loadSeq uint64, live []wibRow) {
 		}
 	case w.cfg.Policy == PolicyProgramOrder:
 		for _, r := range live {
-			heap.Push(&w.elig, r)
+			w.elig.Push(r)
 		}
 	default: // per-load policies keep group identity
 		if len(live) > 0 {
-			sort.Slice(live, func(i, j int) bool { return live[i].seq < live[j].seq })
-			w.groups = append(w.groups, wibGroup{loadSeq: loadSeq, rows: live})
+			rows := append([]wibRow(nil), live...)
+			slices.SortFunc(rows, func(a, b wibRow) int {
+				switch {
+				case a.seq < b.seq:
+					return -1
+				case a.seq > b.seq:
+					return 1
+				}
+				return 0
+			})
+			w.groups = append(w.groups, wibGroup{loadSeq: loadSeq, rows: rows})
 		}
+	}
+}
+
+// hasEligible reports whether any structure the selection policies drain
+// holds rows (possibly stale ones — the check is conservative: a stale
+// row only delays fast-forwarding by the cycle that drops it).
+func (w *wib) hasEligible() bool {
+	if w.elig.Len() > 0 || len(w.chainFIFO) > 0 || len(w.groups) > 0 {
+		return true
+	}
+	for _, rows := range w.bankElig {
+		if len(rows) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// rotateEmpty applies the bankPrio permutation of one reinsertBanked call
+// that finds every bank empty: wrong-parity banks keep priority (stable,
+// in front), right-parity banks had nothing to offer and drop behind.
+func (w *wib) rotateEmpty(parity int) {
+	blocked, done := w.prioScratchA[:0], w.prioScratchB[:0]
+	for _, b := range w.bankPrio {
+		if int(b)%2 != parity {
+			blocked = append(blocked, b)
+		} else {
+			done = append(done, b)
+		}
+	}
+	w.bankPrio = append(append(w.bankPrio[:0], blocked...), done...)
+	w.prioScratchA, w.prioScratchB = blocked[:0], done[:0]
+}
+
+// replayEmptyRotation applies the net bankPrio effect of delta consecutive
+// empty reinsertBanked calls starting at cycle first. The per-cycle
+// permutation alternates parity and has period two once applied, so the
+// closed form is: the first cycle's rotation, plus the second cycle's
+// when delta is even.
+func (w *wib) replayEmptyRotation(first, delta int64) {
+	if !w.cfg.Banked || delta <= 0 || len(w.bankPrio) == 0 {
+		return
+	}
+	w.rotateEmpty(int(first & 1))
+	if delta%2 == 0 {
+		w.rotateEmpty(int((first + 1) & 1))
 	}
 }
 
@@ -347,7 +402,7 @@ func (w *wib) tryReinsertRow(p *Processor, r wibRow) (bool, bool) {
 func (w *wib) reinsertBanked(p *Processor, maxSlots int) int {
 	used := 0
 	parity := int(p.now & 1)
-	var blockedBanks, doneBanks []int32
+	blockedBanks, doneBanks := w.prioScratchA[:0], w.prioScratchB[:0]
 	for _, b := range w.bankPrio {
 		if int(b)%2 != parity || used >= maxSlots {
 			// Inaccessible this cycle (or out of bandwidth): keep relative
@@ -375,7 +430,8 @@ func (w *wib) reinsertBanked(p *Processor, maxSlots int) int {
 			blockedBanks = append(blockedBanks, b)
 		}
 	}
-	w.bankPrio = append(blockedBanks, doneBanks...)
+	w.bankPrio = append(append(w.bankPrio[:0], blockedBanks...), doneBanks...)
+	w.prioScratchA, w.prioScratchB = blockedBanks[:0], doneBanks[:0]
 	return used
 }
 
@@ -416,9 +472,9 @@ func (w *wib) removeFromBank(b int, row wibRow) {
 // reinsertProgramOrder drains the global seq-ordered heap.
 func (w *wib) reinsertProgramOrder(p *Processor, maxSlots int) int {
 	used := 0
-	var blocked []wibRow
-	for used < maxSlots && len(w.elig) > 0 {
-		row := heap.Pop(&w.elig).(wibRow)
+	blocked := w.blockedScratch[:0]
+	for used < maxSlots && w.elig.Len() > 0 {
+		row := w.elig.Pop()
 		ins, blk := w.tryReinsertRow(p, row)
 		if ins {
 			used++
@@ -434,8 +490,9 @@ func (w *wib) reinsertProgramOrder(p *Processor, maxSlots int) int {
 		}
 	}
 	for _, r := range blocked {
-		heap.Push(&w.elig, r)
+		w.elig.Push(r)
 	}
+	w.blockedScratch = blocked[:0]
 	return used
 }
 
@@ -467,7 +524,15 @@ func (w *wib) reinsertChain(p *Processor, maxSlots int) int {
 func (w *wib) reinsertGroups(p *Processor, maxSlots int, roundRobin bool) int {
 	used := 0
 	if !roundRobin {
-		sort.SliceStable(w.groups, func(i, j int) bool { return w.groups[i].loadSeq < w.groups[j].loadSeq })
+		slices.SortStableFunc(w.groups, func(a, b wibGroup) int {
+			switch {
+			case a.loadSeq < b.loadSeq:
+				return -1
+			case a.loadSeq > b.loadSeq:
+				return 1
+			}
+			return 0
+		})
 	}
 	attempts := 0
 	for used < maxSlots && len(w.groups) > 0 && attempts < 4*maxSlots {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"math/rand"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -248,5 +249,50 @@ func TestRunDeadlineRetriesTransient(t *testing.T) {
 	}
 	if !strings.Contains(log.String(), "RETRY") {
 		t.Errorf("transient failure was not retried:\n%s", log.String())
+	}
+}
+
+// TestRunAllParallelRace hammers one shared session with concurrent
+// RunAll sweeps over several configs at once. It exists for the race
+// detector (scripts/check.sh runs it under -race as the parallel-sweep
+// smoke gate) and additionally checks that the memo cache hands every
+// sweep of the same config the exact same Result pointers.
+func TestRunAllParallelRace(t *testing.T) {
+	s := testSession("mst", "treeadd", "art")
+	configs := []core.Config{
+		core.DefaultConfig(),
+		core.ScaledConfig(64, 512),
+		core.WIBConfigSized(512, 8),
+	}
+	const sweepsPerConfig = 3
+	results := make([]map[string]*Result, len(configs)*sweepsPerConfig)
+	var wg sync.WaitGroup
+	for i := range results {
+		i, cfg := i, configs[i%len(configs)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.RunAll(cfg)
+			if err != nil {
+				t.Errorf("RunAll(%s): %v", cfg.Name, err)
+				return
+			}
+			results[i] = res
+		}()
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res == nil {
+			continue // already reported
+		}
+		if len(res) != 3 {
+			t.Errorf("sweep %d: %d cells, want 3", i, len(res))
+		}
+		first := results[i%len(configs)]
+		for name, r := range res {
+			if first != nil && first[name] != r {
+				t.Errorf("sweep %d: cell %s not memoized across concurrent sweeps", i, name)
+			}
+		}
 	}
 }

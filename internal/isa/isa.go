@@ -186,6 +186,10 @@ const (
 	ClassHalt
 )
 
+// NumClasses is the number of functional-unit classes; Class values are
+// dense in [0, NumClasses), so per-class state can live in fixed arrays.
+const NumClasses = int(ClassHalt) + 1
+
 var classNames = map[Class]string{
 	ClassNop: "nop", ClassIntALU: "ialu", ClassIntMult: "imult",
 	ClassFPAdd: "fpadd", ClassFPMult: "fpmult", ClassFPDiv: "fpdiv",

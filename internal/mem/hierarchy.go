@@ -1,6 +1,9 @@
 package mem
 
-import "largewindow/internal/telemetry"
+import (
+	"largewindow/internal/heap"
+	"largewindow/internal/telemetry"
+)
 
 // Config sizes the whole memory system. DefaultConfig reproduces paper
 // Table 1.
@@ -56,8 +59,8 @@ type Hierarchy struct {
 
 	// In-flight fills by line address, per level that sourced them. Used
 	// for MSHR-style merging of secondary misses.
-	inflightL1D map[uint64]int64
-	inflightL1I map[uint64]int64
+	inflightL1D *inflightTable
+	inflightL1I *inflightTable
 
 	DemandFetches uint64
 	LoadCount     uint64
@@ -73,8 +76,8 @@ func NewHierarchy(cfg Config) *Hierarchy {
 		l1i:         NewCache(cfg.L1I),
 		l1d:         NewCache(cfg.L1D),
 		l2:          NewCache(cfg.L2),
-		inflightL1D: make(map[uint64]int64),
-		inflightL1I: make(map[uint64]int64),
+		inflightL1D: newInflightTable(),
+		inflightL1I: newInflightTable(),
 	}
 	if !cfg.DisableTLB {
 		h.tlb = NewTLB(cfg.TLBEntries, cfg.TLBAssoc, cfg.TLBPageBytes, cfg.TLBPenalty)
@@ -85,27 +88,62 @@ func NewHierarchy(cfg Config) *Hierarchy {
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
-// sweep drops completed fills so the in-flight tables stay small.
-func sweep(m map[uint64]int64, now int64) {
-	if len(m) < 64 {
-		return
+// lineFill is one outstanding fill: the line address and the cycle at
+// which its data arrives.
+type lineFill struct {
+	ready int64
+	line  uint64
+}
+
+func fillBefore(a, b lineFill) bool { return a.ready < b.ready }
+
+// inflightTable tracks outstanding fills for one L1. Lookups go through
+// the by-line map; expiry pops a completion-ordered min-heap, so dropping
+// finished fills costs O(completed · log n) instead of a full map sweep
+// on every access. A line evicted and re-missed leaves a stale heap entry
+// behind; expire detects it (the map holds a different ready cycle) and
+// skips the map deletion — lazy deletion, never a linear scan.
+type inflightTable struct {
+	byLine map[uint64]int64
+	order  heap.Heap[lineFill]
+}
+
+func newInflightTable() *inflightTable {
+	return &inflightTable{
+		byLine: make(map[uint64]int64),
+		order:  heap.NewWithCapacity(fillBefore, 16),
 	}
-	for k, v := range m {
-		if v <= now {
-			delete(m, k)
+}
+
+func (t *inflightTable) add(line uint64, ready int64) {
+	t.byLine[line] = ready
+	t.order.Push(lineFill{ready: ready, line: line})
+}
+
+func (t *inflightTable) lookup(line uint64) (int64, bool) {
+	r, ok := t.byLine[line]
+	return r, ok
+}
+
+// expire drops every fill completed by cycle now.
+func (t *inflightTable) expire(now int64) {
+	for t.order.Len() > 0 && t.order.Peek().ready <= now {
+		f := t.order.Pop()
+		if r, ok := t.byLine[f.line]; ok && r == f.ready {
+			delete(t.byLine, f.line)
 		}
 	}
 }
 
 // access runs the generic two-level lookup for one L1 cache.
-func (h *Hierarchy) access(l1 *Cache, inflight map[uint64]int64, addr uint64, now int64, store bool) AccessResult {
+func (h *Hierarchy) access(l1 *Cache, inflight *inflightTable, addr uint64, now int64, store bool) AccessResult {
 	res := AccessResult{}
 	line := l1.LineAddr(addr)
-	sweep(inflight, now)
+	inflight.expire(now)
 	start := now
 	if l1.Access(addr, store) {
 		// Tag hit — but the fill may still be in flight (secondary miss).
-		if ready, ok := inflight[line]; ok && ready > now {
+		if ready, ok := inflight.lookup(line); ok && ready > now {
 			res.L1Miss = true
 			res.Merged = true
 			res.Ready = ready
@@ -124,7 +162,7 @@ func (h *Hierarchy) access(l1 *Cache, inflight map[uint64]int64, addr uint64, no
 		h.MemFills++
 		ready += h.cfg.L2Latency + h.cfg.MemLatency
 	}
-	inflight[line] = ready
+	inflight.add(line, ready)
 	res.Ready = ready
 	return res
 }
@@ -154,7 +192,7 @@ func (h *Hierarchy) ProbeLoad(addr uint64, now int64) (hit bool, merged bool) {
 	if !h.l1d.Probe(addr) {
 		return false, false
 	}
-	if ready, ok := h.inflightL1D[h.l1d.LineAddr(addr)]; ok && ready > now {
+	if ready, ok := h.inflightL1D.lookup(h.l1d.LineAddr(addr)); ok && ready > now {
 		return false, true
 	}
 	return true, false
@@ -198,12 +236,12 @@ func (h *Hierarchy) L2Stats() CacheStats { return h.l2.Stats() }
 // merge-based model.
 func (h *Hierarchy) InflightFills(now int64) int {
 	n := 0
-	for _, ready := range h.inflightL1D {
+	for _, ready := range h.inflightL1D.byLine {
 		if ready > now {
 			n++
 		}
 	}
-	for _, ready := range h.inflightL1I {
+	for _, ready := range h.inflightL1I.byLine {
 		if ready > now {
 			n++
 		}

@@ -119,6 +119,18 @@ func (c *Collector) Sample(cycle int64) {
 	c.next = cycle + c.interval
 }
 
+// CatchUp advances the sampler across a cycle range the caller fast-
+// forwarded through, emitting exactly the samples consecutive per-cycle
+// Ticks would have produced: one at each sampling point ≤ upto. Gauges
+// are read at emission time, which matches per-cycle ticking only when
+// the instrumented state is provably constant over the skipped range —
+// the core's idle-cycle fast-forward guarantees that.
+func (c *Collector) CatchUp(upto int64) {
+	for c.next <= upto {
+		c.Sample(c.next)
+	}
+}
+
 // Close emits a final sample at endCycle (when the run advanced past the
 // last sampling point) and flushes the stream. It returns the first error
 // seen while writing.

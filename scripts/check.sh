@@ -15,6 +15,15 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== harness parallel RunAll race smoke =="
+go test -race -count=1 -run 'TestRunAllParallelRace' ./internal/harness/
+
+echo "== fast-forward equivalence + determinism smoke =="
+go test -count=1 -run 'TestFastForwardEquivalence|TestFastForwardEngages|TestRunDeterminism' ./internal/core/
+
+echo "== heap steady-state allocation budget =="
+go test -count=1 -run 'TestSteadyStateAllocFree' ./internal/heap/
+
 echo "== fault-injection smoke sweep =="
 go test -count=1 -run 'TestCampaignDetectsEveryFault|TestWatchdogFaultsBounded' ./internal/fault/
 
@@ -33,5 +42,39 @@ go run ./cmd/wibtrace -render "$teldir/mgrid.kanata" >/dev/null
 
 echo "== telemetry overhead (disabled path must stay near-free) =="
 go test -count=1 -run TestDisabledTelemetryOverhead -v ./internal/telemetry/ | grep -E 'overhead|PASS|FAIL'
+
+echo "== simulator throughput vs BENCH_PR3.json =="
+# Quick regression smoke: re-measure instrs/s for each throughput config
+# and compare against the recorded snapshot. The threshold is generous
+# (0.4x) — it catches "the fast path fell off" regressions, not machine
+# noise. Refresh the snapshot with `make bench` after intentional changes.
+if [ -f BENCH_PR3.json ] && command -v jq >/dev/null 2>&1; then
+    go test -run '^$' -bench '^BenchmarkSimulatorThroughput$' \
+        -benchtime 1s -count 1 . >/tmp/bench_now.$$ || { cat /tmp/bench_now.$$; exit 1; }
+    awk '
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+        for (i = 3; i < NF; i += 2) if ($(i+1) == "instrs/s") print name, $i
+    }' /tmp/bench_now.$$ | while read -r name now; do
+        ref=$(jq -r --arg n "$name" \
+            '.results[] | select(.bench == $n) | .instrs_per_sec // empty' BENCH_PR3.json)
+        if [ -z "$ref" ]; then
+            echo "  $name: ${now} instrs/s (no reference recorded)"
+            continue
+        fi
+        awk -v name="$name" -v now="$now" -v ref="$ref" 'BEGIN {
+            delta = 100 * (now - ref) / ref
+            printf "  %s: %.0f instrs/s vs recorded %.0f (%+.1f%%)\n", name, now, ref, delta
+            if (now < 0.4 * ref) {
+                printf "  FAIL: %s throughput below 0.4x the recorded snapshot\n", name
+                exit 1
+            }
+        }' || { rm -f /tmp/bench_now.$$; exit 1; }
+    done
+    rm -f /tmp/bench_now.$$
+else
+    echo "  skipped (no BENCH_PR3.json or jq)"
+fi
 
 echo "check: all gates passed"
