@@ -6,8 +6,18 @@
 //
 //	experiments [-run fig1,table2,fig4,fig5,fig6,policy,fig7,sens|all]
 //	            [-instr N] [-bench a,b,c] [-scale test|run|full] [-v]
+//	            [-parallel N] [-cache-dir dir] [-resume]
 //	            [-deadline 2m] [-crash-dump dir]
 //	            [-telemetry-dir dir] [-sample-interval N] [-pprof cpu.prof]
+//
+// The selected experiments expand into one campaign manifest — every
+// (configuration × benchmark) cell they need, deduplicated — which is
+// primed onto the engine's worker pool up front, so -parallel N crunches
+// the whole grid concurrently while tables render in paper order. With
+// -cache-dir every finished cell persists to disk; re-running with
+// -resume serves finished cells from the cache and executes only what is
+// missing. A live progress line (cells done/total, aggregate instrs/s,
+// ETA) repaints on stderr when it is a terminal.
 //
 // A failing (benchmark × configuration) cell does not abort the sweep:
 // the remaining cells still run, a failure-summary table is printed at
@@ -22,9 +32,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 
+	"largewindow/internal/campaign"
 	"largewindow/internal/core"
 	"largewindow/internal/harness"
 	"largewindow/internal/workload"
@@ -39,6 +51,10 @@ func main() {
 		scale   = flag.String("scale", "run", "kernel scale: test, run, or full")
 		par     = flag.Int("parallel", 0, "concurrent simulations (default GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "log each simulation run")
+
+		cacheDir = flag.String("cache-dir", "", "persist finished cells as JSON records in this directory")
+		resume   = flag.Bool("resume", false, "serve cells already in -cache-dir from disk instead of re-running them")
+		progFlag = flag.Bool("progress", true, "live campaign progress line (auto-disabled when stderr is not a terminal)")
 
 		deadline  = flag.Duration("deadline", 0, "wall-clock limit per simulation (0 = none)")
 		crashDump = flag.String("crash-dump", "", "directory for per-failure JSON crash dumps")
@@ -55,16 +71,13 @@ func main() {
 		}
 		return
 	}
-	var sc workload.Scale
-	switch *scale {
-	case "test":
-		sc = workload.ScaleTest
-	case "run":
-		sc = workload.ScaleRun
-	case "full":
-		sc = workload.ScaleFull
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+	sc, ok := workload.ParseScale(*scale)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scale %q (valid: test, run, full)\n", *scale)
+		os.Exit(2)
+	}
+	if *resume && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume needs -cache-dir (there is no cache to resume from)")
 		os.Exit(2)
 	}
 	opt := harness.Options{
@@ -74,6 +87,8 @@ func main() {
 		RunDeadline:    *deadline,
 		TelemetryDir:   *telemDir,
 		SampleInterval: *sampleIvl,
+		CacheDir:       *cacheDir,
+		Resume:         *resume,
 	}
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)
@@ -89,7 +104,15 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 	if *bench != "" {
-		opt.Benchmarks = strings.Split(*bench, ",")
+		names := strings.Split(*bench, ",")
+		for _, n := range names {
+			if _, ok := workload.Get(n); !ok {
+				fmt.Fprintf(os.Stderr, "unknown benchmark %q; valid benchmarks:\n  %s\n",
+					n, strings.Join(workload.Names(), "\n  "))
+				os.Exit(2)
+			}
+		}
+		opt.Benchmarks = names
 	}
 	var logw io.Writer
 	if *verbose {
@@ -98,8 +121,32 @@ func main() {
 	opt.Log = logw
 
 	s := harness.NewSession(opt)
+	if serr := s.StoreErr(); serr != nil {
+		fmt.Fprintf(os.Stderr, "experiments: cache unavailable, running without it: %v\n", serr)
+	}
 	ids := strings.Split(*runIDs, ",")
+
+	// Prime the full campaign manifest so the worker pool crunches every
+	// cell of the selected experiments concurrently while tables render
+	// in paper order.
+	workers := *par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	expected := s.Prime(s.ManifestFor(ids))
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "campaign: primed %d cells onto %d workers\n", expected, workers)
+	}
+	var progress *campaign.Progress
+	if *progFlag && isTerminal(os.Stderr) {
+		progress = campaign.NewProgress(s.Campaign(), os.Stderr, 0, uint64(expected))
+	}
+
 	err := harness.RunExperiments(s, ids, os.Stdout)
+	if progress != nil {
+		progress.Stop()
+	}
+	fmt.Fprintln(os.Stderr, s.Campaign().Snapshot().Summary())
 	if fails := s.Failures(); len(fails) > 0 {
 		fmt.Fprintln(os.Stderr)
 		fmt.Fprint(os.Stderr, s.FailureSummary())
@@ -110,6 +157,13 @@ func main() {
 		pprof.StopCPUProfile() // os.Exit skips the deferred stop
 		os.Exit(1)
 	}
+}
+
+// isTerminal reports whether f is an interactive terminal (the live
+// progress line is repaint-in-place and belongs only there).
+func isTerminal(f *os.File) bool {
+	st, err := f.Stat()
+	return err == nil && st.Mode()&os.ModeCharDevice != 0
 }
 
 // writeCrashDumps saves each failed cell's structured error under dir as

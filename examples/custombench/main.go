@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -78,7 +79,9 @@ func buildSpMV(rows, nnzPerRow int) *largewindow.Program {
 
 func main() {
 	prog := buildSpMV(20000, 8) // ~2.8 MB of matrix + vector data
-	base, err := largewindow.Simulate(largewindow.BaseConfig(), prog, 300_000)
+	ctx := context.Background()
+	budget := largewindow.WithMaxInstr(300_000)
+	base, err := largewindow.SimulateContext(ctx, largewindow.BaseConfig(), prog, budget)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,7 +90,7 @@ func main() {
 	fmt.Println("WIB capacity sweep (unlimited bit-vectors):")
 	for _, entries := range []int{128, 256, 512, 1024, 2048} {
 		cfg := largewindow.WIBConfigSized(entries, 0)
-		r, err := largewindow.Simulate(cfg, prog, 300_000)
+		r, err := largewindow.SimulateContext(ctx, cfg, prog, budget)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -98,7 +101,7 @@ func main() {
 	fmt.Println("\nbit-vector (outstanding miss) sweep on the 2K WIB:")
 	for _, bv := range []int{4, 8, 16, 32, 64} {
 		cfg := largewindow.WIBConfigSized(2048, bv)
-		r, err := largewindow.Simulate(cfg, prog, 300_000)
+		r, err := largewindow.SimulateContext(ctx, cfg, prog, budget)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,7 +13,8 @@ import (
 )
 
 func main() {
-	const budget = 150_000
+	ctx := context.Background()
+	budget := largewindow.WithMaxInstr(150_000)
 	benches := []string{"art", "em3d", "gzip"}
 	sizes := []struct {
 		iq, al int
@@ -32,7 +34,7 @@ func main() {
 		fmt.Printf("%-8d", sz.iq)
 		for _, b := range benches {
 			prog := largewindow.Benchmark(b, largewindow.ScaleRun)
-			r, err := largewindow.Simulate(cfg, prog, budget)
+			r, err := largewindow.SimulateContext(ctx, cfg, prog, budget)
 			if err != nil {
 				log.Fatal(err)
 			}

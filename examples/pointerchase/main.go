@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,19 +15,20 @@ import (
 )
 
 func main() {
-	const budget = 200_000
+	ctx := context.Background()
+	budget := largewindow.WithMaxInstr(200_000)
 	for _, bench := range []string{"treeadd", "em3d", "mst", "perimeter"} {
 		prog := largewindow.Benchmark(bench, largewindow.ScaleRun)
 
-		base, err := largewindow.Simulate(largewindow.BaseConfig(), prog, budget)
+		base, err := largewindow.SimulateContext(ctx, largewindow.BaseConfig(), prog, budget)
 		if err != nil {
 			log.Fatal(err)
 		}
-		big, err := largewindow.Simulate(largewindow.ScaledConfig(2048, 2048), prog, budget)
+		big, err := largewindow.SimulateContext(ctx, largewindow.ScaledConfig(2048, 2048), prog, budget)
 		if err != nil {
 			log.Fatal(err)
 		}
-		wib, err := largewindow.Simulate(largewindow.WIBConfig(), prog, budget)
+		wib, err := largewindow.SimulateContext(ctx, largewindow.WIBConfig(), prog, budget)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ func main() {
 		largewindow.ScaledConfig(2048, 2048),
 		largewindow.WIBConfig(),
 	} {
-		res, err := largewindow.Simulate(cfg, prog, 0)
+		res, err := largewindow.SimulateContext(context.Background(), cfg, prog)
 		if err != nil {
 			log.Fatal(err)
 		}

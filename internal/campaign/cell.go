@@ -1,0 +1,75 @@
+// Package campaign is the sharded execution engine behind the paper's
+// evaluation grid. An experiment set expands into a deterministic
+// manifest of (benchmark × configuration × budget) cells; the engine runs
+// the cells across a bounded work-stealing worker pool with per-worker
+// panic isolation, and persists every finished cell's result as a
+// schema-versioned JSON record in an on-disk content-addressed store, so
+// an interrupted or re-invoked campaign resumes with zero recomputation
+// and cache hits survive across processes.
+//
+// The harness (internal/harness) is a thin view over this package:
+// Session memoization, RunAll, and the experiment table generators all
+// read through a campaign engine.
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"largewindow/internal/core"
+	"largewindow/internal/workload"
+)
+
+// Cell is one unit of campaign work: a benchmark run under one processor
+// configuration with a fixed budget. Cells are value types; their
+// identity is the content hash of the canonicalized tuple, so the same
+// experiment requested by two processes (or two runs of one process)
+// names the same cache entry.
+type Cell struct {
+	Config    core.Config
+	Bench     string
+	Scale     workload.Scale
+	MaxInstr  uint64
+	MaxCycles int64
+}
+
+// cellKey is the canonical form hashed into a cell ID. Config marshals
+// deterministically (struct fields in declaration order; encoding/json
+// sorts any map keys), so equal configurations — not equal config *names*
+// — yield equal IDs, and any timing-relevant config change re-keys the
+// cell instead of serving a stale result.
+type cellKey struct {
+	Config    core.Config `json:"config"`
+	Bench     string      `json:"bench"`
+	Scale     string      `json:"scale"`
+	MaxInstr  uint64      `json:"max_instr"`
+	MaxCycles int64       `json:"max_cycles"`
+}
+
+// idHexLen is the truncated hex length of a cell ID: 16 bytes of SHA-256,
+// far beyond collision range for any realizable campaign size.
+const idHexLen = 32
+
+// ID returns the cell's stable content-addressed identity.
+func (c Cell) ID() string {
+	data, err := json.Marshal(cellKey{
+		Config:    c.Config,
+		Bench:     c.Bench,
+		Scale:     c.Scale.String(),
+		MaxInstr:  c.MaxInstr,
+		MaxCycles: c.MaxCycles,
+	})
+	if err != nil {
+		// Config is a plain data struct; this cannot fail on real inputs.
+		panic(fmt.Sprintf("campaign: canonicalizing cell: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])[:idHexLen]
+}
+
+// String names the cell for logs and progress lines.
+func (c Cell) String() string {
+	return c.Config.Name + "/" + c.Bench
+}

@@ -1,0 +1,122 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress renders a live one-line campaign status fed by the engine's
+// telemetry counters: cells done/total, aggregate simulated-instruction
+// throughput, and an ETA extrapolated from per-cell wall time. It
+// repaints in place with a carriage return, so it belongs on a terminal
+// stderr (the CLI auto-disables it when stderr is piped).
+type Progress struct {
+	eng      *Engine
+	w        io.Writer
+	interval time.Duration
+	expected uint64 // manifest size, when known ahead of submission
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewProgress starts a progress renderer repainting every interval
+// (<=0: 500ms). expected is the manifest size when known up front (the
+// engine's own total only counts cells submitted so far); 0 falls back
+// to the engine total. Call Stop to erase the line and halt.
+func NewProgress(eng *Engine, w io.Writer, interval time.Duration, expected uint64) *Progress {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	p := &Progress{eng: eng, w: w, interval: interval, expected: expected, stop: make(chan struct{})}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+func (p *Progress) loop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-tick.C:
+			fmt.Fprintf(p.w, "\r\x1b[K%s", p.Line())
+		}
+	}
+}
+
+// Line renders the current status line.
+func (p *Progress) Line() string {
+	s := p.eng.Snapshot()
+	total := s.Total
+	if p.expected > total {
+		total = p.expected
+	}
+	secs := s.Elapsed.Seconds()
+	rate := 0.0
+	if secs > 0 {
+		rate = float64(s.Instrs) / secs
+	}
+	line := fmt.Sprintf("campaign %d/%d cells", s.Done, total)
+	if s.CacheHits > 0 {
+		line += fmt.Sprintf(" (%d cached)", s.CacheHits)
+	}
+	if s.Failed > 0 {
+		line += fmt.Sprintf(" (%d FAILED)", s.Failed)
+	}
+	line += fmt.Sprintf(" · %s instrs/s", siFormat(rate))
+	if eta, ok := p.eta(s, total); ok {
+		line += " · ETA " + eta
+	}
+	return line
+}
+
+// eta extrapolates remaining wall time from executed cells only — cache
+// hits are free and must not skew the per-cell cost estimate.
+func (p *Progress) eta(s Snapshot, total uint64) (string, bool) {
+	finished := s.Done
+	if finished == 0 || finished >= total || s.Executed == 0 {
+		return "", false
+	}
+	perCell := s.Elapsed / time.Duration(s.Executed)
+	remain := perCell * time.Duration(total-finished)
+	if remain > time.Hour*99 {
+		return "", false
+	}
+	return fmtDuration(remain), true
+}
+
+// Stop halts the renderer and erases the in-place line.
+func (p *Progress) Stop() {
+	close(p.stop)
+	p.wg.Wait()
+	fmt.Fprintf(p.w, "\r\x1b[K")
+}
+
+// siFormat renders a rate with an SI suffix (2.1M, 764k).
+func siFormat(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func fmtDuration(d time.Duration) string {
+	d = d.Round(time.Second)
+	m, s := int(d.Minutes()), int(d.Seconds())%60
+	if m >= 60 {
+		return fmt.Sprintf("%d:%02d:%02d", m/60, m%60, s)
+	}
+	return fmt.Sprintf("%d:%02d", m, s)
+}

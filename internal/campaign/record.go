@@ -1,0 +1,56 @@
+package campaign
+
+import (
+	"encoding/json"
+
+	"largewindow/internal/core"
+	"largewindow/internal/schema"
+)
+
+// Record is the persisted outcome of one executed cell: the cell's
+// identity and labels plus every metric the experiment tables consume.
+// Records are written as schema-versioned JSON; decoding accepts any
+// version up to schema.ResultVersion and rejects newer ones, and a
+// golden-file test pins the v1 encoding so future schema changes cannot
+// silently orphan existing caches.
+type Record struct {
+	SchemaVersion int `json:"schema_version"`
+
+	CellID    string `json:"cell_id"`
+	Config    string `json:"config"`
+	Bench     string `json:"bench"`
+	Suite     string `json:"suite"`
+	Scale     string `json:"scale"`
+	MaxInstr  uint64 `json:"max_instr"`
+	MaxCycles int64  `json:"max_cycles"`
+
+	IPC     float64    `json:"ipc"`
+	Stats   core.Stats `json:"stats"`
+	DL1Miss float64    `json:"dl1_miss"`
+	L2Local float64    `json:"l2_local"`
+	BrAcc   float64    `json:"br_acc"`
+}
+
+// recordWire avoids MarshalJSON/UnmarshalJSON recursion.
+type recordWire Record
+
+// MarshalJSON stamps the record with the current result schema version.
+func (r *Record) MarshalJSON() ([]byte, error) {
+	w := recordWire(*r)
+	w.SchemaVersion = schema.ResultVersion
+	return json.Marshal(&w)
+}
+
+// UnmarshalJSON decodes a record, rejecting schema versions newer than
+// this reader understands.
+func (r *Record) UnmarshalJSON(data []byte) error {
+	var w recordWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	if err := schema.Check(w.SchemaVersion, schema.ResultVersion, "campaign record"); err != nil {
+		return err
+	}
+	*r = Record(w)
+	return nil
+}

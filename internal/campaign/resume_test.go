@@ -1,0 +1,123 @@
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEngineResumeRecomputesOnlyMissing is the engine-level resume
+// contract: campaign #1 dies with part of the manifest unfinished (three
+// cells error out, so no record is persisted for them); campaign #2 over
+// the same store with Resume on must serve every finished cell from disk
+// BYTE-identically and execute only the missing ones.
+func TestEngineResumeRecomputesOnlyMissing(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells []Cell
+	for i := 0; i < 12; i++ {
+		cells = append(cells, testCell("", 64, fmt.Sprintf("bench%02d", i)))
+	}
+	crashed := map[string]bool{"bench03": true, "bench07": true, "bench08": true}
+
+	// Campaign #1: the "crashed" cells fail mid-flight and persist nothing.
+	eng1 := NewEngine(func(c Cell) (*Record, error) {
+		if crashed[c.Bench] {
+			return nil, errors.New("simulated mid-campaign crash")
+		}
+		return fakeExec(c)
+	}, Options{Workers: 4, Store: store})
+	eng1.Prime(cells)
+	eng1.Wait()
+	if s := eng1.Snapshot(); s.Failed != 3 || s.Executed != 12 {
+		t.Fatalf("campaign 1 snapshot %+v", s)
+	}
+	ids, err := store.IDs()
+	if err != nil || len(ids) != 9 {
+		t.Fatalf("persisted %d records (%v), want 9", len(ids), err)
+	}
+	before := map[string][]byte{}
+	for _, id := range ids {
+		data, err := os.ReadFile(store.Path(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[id] = data
+	}
+
+	// Campaign #2: resume. Only the three missing cells may execute.
+	var executed atomic.Int32
+	eng2 := NewEngine(func(c Cell) (*Record, error) {
+		executed.Add(1)
+		if !crashed[c.Bench] {
+			t.Errorf("cached cell %s re-executed on resume", c)
+		}
+		return fakeExec(c)
+	}, Options{Workers: 4, Store: store, Resume: true})
+	for _, c := range cells {
+		rec, err := eng2.Run(c)
+		if err != nil {
+			t.Fatalf("resume run %s: %v", c, err)
+		}
+		if rec.Bench != c.Bench {
+			t.Errorf("cell %s served record for %s", c, rec.Bench)
+		}
+	}
+	if executed.Load() != 3 {
+		t.Errorf("resume executed %d cells, want 3", executed.Load())
+	}
+	s := eng2.Snapshot()
+	if s.CacheHits != 9 || s.Executed != 3 || s.Failed != 0 {
+		t.Errorf("campaign 2 snapshot %+v", s)
+	}
+	// Cache files must be byte-identical after the resume — a resumed
+	// campaign reads records, it never rewrites them.
+	for id, want := range before {
+		got, err := os.ReadFile(store.Path(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("cache entry %s rewritten by resume", id)
+		}
+	}
+	// And a third campaign over the now-complete store executes nothing.
+	eng3 := NewEngine(func(c Cell) (*Record, error) {
+		t.Errorf("complete cache still executed %s", c)
+		return fakeExec(c)
+	}, Options{Workers: 4, Store: store, Resume: true})
+	eng3.Prime(cells)
+	eng3.Wait()
+	if s := eng3.Snapshot(); s.Executed != 0 || s.CacheHits != 12 {
+		t.Errorf("campaign 3 snapshot %+v", s)
+	}
+}
+
+// TestEngineWithoutResumeIgnoresCache: a fresh campaign (Resume off)
+// re-executes everything and overwrites the store.
+func TestEngineWithoutResumeIgnoresCache(t *testing.T) {
+	store, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := testCell("", 64, "gzip")
+	eng1 := NewEngine(fakeExec, Options{Workers: 1, Store: store})
+	if _, err := eng1.Run(cell); err != nil {
+		t.Fatal(err)
+	}
+	var executed atomic.Int32
+	eng2 := NewEngine(func(c Cell) (*Record, error) {
+		executed.Add(1)
+		return fakeExec(c)
+	}, Options{Workers: 1, Store: store}) // Resume: false
+	if _, err := eng2.Run(cell); err != nil {
+		t.Fatal(err)
+	}
+	if executed.Load() != 1 {
+		t.Errorf("fresh campaign served from cache (executed=%d)", executed.Load())
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime/debug"
+
+	"largewindow/internal/schema"
 )
 
 // This file defines the structured failure model of the simulator. Any
@@ -128,20 +130,23 @@ type StallInfo struct {
 // oracle divergence, and wall-clock deadline hits, and by the harness for
 // any failed (benchmark × configuration) cell.
 type SimError struct {
-	Kind      ErrKind     `json:"kind"`
-	Msg       string      `json:"msg"`
-	Cycle     int64       `json:"cycle"`
-	Seq       uint64      `json:"seq,omitempty"`
-	PC        uint64      `json:"pc,omitempty"`
-	Config    string      `json:"config"`
-	Bench     string      `json:"bench,omitempty"`
-	Scale     string      `json:"scale,omitempty"`
-	Committed uint64      `json:"committed"`
-	Transient bool        `json:"transient,omitempty"`
-	Stall     *StallInfo  `json:"stall,omitempty"`
-	Events    []RingEvent `json:"events,omitempty"`
-	Dump      string      `json:"dump,omitempty"`
-	Stack     string      `json:"stack,omitempty"`
+	// SchemaVersion stamps JSON crash dumps (schema.CrashDumpVersion);
+	// 0 marks a legacy pre-versioning dump, still accepted on decode.
+	SchemaVersion int         `json:"schema_version,omitempty"`
+	Kind          ErrKind     `json:"kind"`
+	Msg           string      `json:"msg"`
+	Cycle         int64       `json:"cycle"`
+	Seq           uint64      `json:"seq,omitempty"`
+	PC            uint64      `json:"pc,omitempty"`
+	Config        string      `json:"config"`
+	Bench         string      `json:"bench,omitempty"`
+	Scale         string      `json:"scale,omitempty"`
+	Committed     uint64      `json:"committed"`
+	Transient     bool        `json:"transient,omitempty"`
+	Stall         *StallInfo  `json:"stall,omitempty"`
+	Events        []RingEvent `json:"events,omitempty"`
+	Dump          string      `json:"dump,omitempty"`
+	Stack         string      `json:"stack,omitempty"`
 
 	base error // wrapped sentinel (ErrDeadlock, context.DeadlineExceeded, ...)
 }
@@ -160,14 +165,24 @@ func (e *SimError) Error() string {
 func (e *SimError) Unwrap() error { return e.base }
 
 // JSON serializes the error (indented) for crash-dump files replayable
-// with `wibtrace -replay`.
-func (e *SimError) JSON() ([]byte, error) { return json.MarshalIndent(e, "", "  ") }
+// with `wibtrace -replay`. Dumps are stamped with the current crash-dump
+// schema version.
+func (e *SimError) JSON() ([]byte, error) {
+	stamped := *e
+	stamped.SchemaVersion = schema.CrashDumpVersion
+	return json.MarshalIndent(&stamped, "", "  ")
+}
 
-// DecodeSimError parses a crash dump produced by SimError.JSON.
+// DecodeSimError parses a crash dump produced by SimError.JSON. Dumps
+// from any schema version up to the current one decode (version 0 is the
+// legacy unversioned encoding); newer versions are rejected.
 func DecodeSimError(data []byte) (*SimError, error) {
 	var e SimError
 	if err := json.Unmarshal(data, &e); err != nil {
 		return nil, fmt.Errorf("core: bad crash dump: %w", err)
+	}
+	if err := schema.Check(e.SchemaVersion, schema.CrashDumpVersion, "crash dump"); err != nil {
+		return nil, err
 	}
 	return &e, nil
 }

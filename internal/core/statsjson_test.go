@@ -1,0 +1,73 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestStatsJSONRoundTrip: every field of Stats — including the unexported
+// accumulators behind AvgROBOccupancy/AvgMLP/ClassCount — must survive
+// encode/decode, because the campaign cache serves decoded Stats in place
+// of fresh ones and the resume gate diffs the resulting tables.
+func TestStatsJSONRoundTrip(t *testing.T) {
+	in := Stats{
+		Name:             "WIB/2048",
+		Cycles:           123456,
+		Committed:        300000,
+		IPC:              2.43,
+		StreamHash:       0xdeadbeefcafe,
+		CondBranches:     1000,
+		CondCorrect:      950,
+		Mispredicts:      50,
+		Misfetches:       7,
+		Replays:          3,
+		StoreWaitHits:    12,
+		ForwardedLoads:   400,
+		FetchedInstrs:    500000,
+		SquashedInstrs:   20000,
+		WIBInsertions:    8000,
+		WIBReinsertions:  7000,
+		WIBInstructions:  2000,
+		WIBMaxInsertions: 42,
+		BitVectorStalls:  5,
+		WIBPeakOccupancy: 1800,
+		HeadEvictions:    2,
+		PoolSpills:       9,
+		SliceExecuted:    11,
+		MLPPeak:          14,
+		robOccupancy:     99999,
+		occupancySamples: 1234,
+		mlpSum:           555,
+		mlpCycles:        77,
+	}
+	for i := range in.classMix {
+		in.classMix[i] = uint64(i * 13)
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Stats
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+	if out.AvgMLP() != in.AvgMLP() || out.AvgROBOccupancy() != in.AvgROBOccupancy() {
+		t.Error("derived metrics differ after round trip")
+	}
+}
+
+// TestStatsJSONGuardsNewFields fails when Stats grows a field that the
+// wire encoding does not carry — the reminder to extend statsWire (and
+// bump schema.ResultVersion if the change is not additive).
+func TestStatsJSONGuardsNewFields(t *testing.T) {
+	st := reflect.TypeOf(Stats{})
+	ww := reflect.TypeOf(statsWire{})
+	if st.NumField() != ww.NumField() {
+		t.Errorf("Stats has %d fields but statsWire has %d: extend the wire encoding",
+			st.NumField(), ww.NumField())
+	}
+}

@@ -4,46 +4,80 @@ import (
 	"fmt"
 	"io"
 
+	"largewindow/internal/campaign"
 	"largewindow/internal/core"
 	"largewindow/internal/stats"
 	"largewindow/internal/workload"
 )
 
 // Experiment regenerates one of the paper's tables or figures.
+//
+// Configs declares, ahead of execution, every configuration the Run body
+// will simulate — the same builder functions back both, so the campaign
+// manifest and the rendered tables agree cell for cell. ManifestFor uses
+// it to prime the engine with an experiment set's full cell grid before
+// any table starts rendering.
 type Experiment struct {
-	ID    string // "fig1", "table2", ...
-	Title string
-	Run   func(*Session) ([]*stats.Table, error)
+	ID      string // "fig1", "table2", ...
+	Title   string
+	Run     func(*Session) ([]*stats.Table, error)
+	Configs func() []core.Config
 }
 
 // Experiments returns every experiment in paper order (DESIGN.md §3).
 func Experiments() []Experiment {
 	return []Experiment{
-		{"fig1", "Figure 1: conventional window-size limit study", (*Session).Figure1},
-		{"table2", "Table 2: benchmark performance statistics", (*Session).Table2},
-		{"fig4", "Figure 4: WIB performance vs. scaled conventional designs", (*Session).Figure4},
-		{"fig5", "Figure 5: performance of limited bit-vectors", (*Session).Figure5},
-		{"fig6", "Figure 6: WIB capacity effects", (*Session).Figure6},
-		{"policy", "Section 4.4: WIB-to-issue-queue instruction selection", (*Session).PolicyStudy},
-		{"fig7", "Figure 7: non-banked multicycle WIB", (*Session).Figure7},
-		{"sens", "Section 4.1: memory latency / L2 size / L1D sensitivity", (*Session).Sensitivity},
-		{"pool", "Section 3.5 (extension): bit-vector vs. pool-of-blocks organization", (*Session).PoolStudy},
-		{"slice", "Section 6 (extension): slice execution core and register-file variants", (*Session).SliceStudy},
+		{"fig1", "Figure 1: conventional window-size limit study", (*Session).Figure1, fig1Configs},
+		{"table2", "Table 2: benchmark performance statistics", (*Session).Table2, table2Configs},
+		{"fig4", "Figure 4: WIB performance vs. scaled conventional designs", (*Session).Figure4, fig4Configs},
+		{"fig5", "Figure 5: performance of limited bit-vectors", (*Session).Figure5, fig5Configs},
+		{"fig6", "Figure 6: WIB capacity effects", (*Session).Figure6, fig6Configs},
+		{"policy", "Section 4.4: WIB-to-issue-queue instruction selection", (*Session).PolicyStudy, policyConfigs},
+		{"fig7", "Figure 7: non-banked multicycle WIB", (*Session).Figure7, fig7Configs},
+		{"sens", "Section 4.1: memory latency / L2 size / L1D sensitivity", (*Session).Sensitivity, sensConfigs},
+		{"pool", "Section 3.5 (extension): bit-vector vs. pool-of-blocks organization", (*Session).PoolStudy, poolConfigs},
+		{"slice", "Section 6 (extension): slice execution core and register-file variants", (*Session).SliceStudy, sliceConfigs},
 	}
 }
 
-// RunExperiments runs the named experiments ("all" or nil = all) and
-// renders their tables to w.
-func RunExperiments(s *Session, ids []string, w io.Writer) error {
+// selectExperiments resolves an id list ("all" or nil = all) to the
+// experiments it names, in paper order.
+func selectExperiments(ids []string) []Experiment {
 	want := map[string]bool{}
 	for _, id := range ids {
 		want[id] = true
 	}
 	all := len(ids) == 0 || want["all"]
+	var out []Experiment
 	for _, ex := range Experiments() {
-		if !all && !want[ex.ID] {
-			continue
+		if all || want[ex.ID] {
+			out = append(out, ex)
 		}
+	}
+	return out
+}
+
+// ManifestFor expands the named experiments ("all" or nil = all) into
+// the deterministic campaign manifest of every (configuration ×
+// benchmark) cell they will request under this session's budgets —
+// deduplicated (the baseline appears in every experiment but once in
+// the manifest) and sorted.
+func (s *Session) ManifestFor(ids []string) campaign.Manifest {
+	var cells []campaign.Cell
+	for _, ex := range selectExperiments(ids) {
+		for _, cfg := range ex.Configs() {
+			for _, sp := range s.benchmarks() {
+				cells = append(cells, s.cell(cfg, sp.Name))
+			}
+		}
+	}
+	return campaign.NewManifest(cells)
+}
+
+// RunExperiments runs the named experiments ("all" or nil = all) and
+// renders their tables to w.
+func RunExperiments(s *Session, ids []string, w io.Writer) error {
+	for _, ex := range selectExperiments(ids) {
 		fmt.Fprintf(w, "### %s\n\n", ex.Title)
 		tables, err := ex.Run(s)
 		if err != nil {
@@ -73,15 +107,15 @@ func suiteHeader() []string {
 	return []string{"configuration", "SPEC-INT speedup", "SPEC-FP speedup", "Olden speedup"}
 }
 
-// Figure1 is the limit study: conventional issue queues from 32 to 4K
-// entries (IQ ≤ 128 keep the 128-entry active list; larger configurations
-// scale the active list, registers, and LSQ with the queue, §2.2.2).
-func (s *Session) Figure1() ([]*stats.Table, error) {
-	base, err := s.baseline()
-	if err != nil {
-		return nil, err
-	}
-	configs := []core.Config{
+// withBaseline prepends the 32-IQ/128 reference machine (every
+// experiment's speedup denominator) to an experiment's own sweep.
+func withBaseline(cfgs ...core.Config) []core.Config {
+	return append([]core.Config{core.DefaultConfig()}, cfgs...)
+}
+
+// fig1Sweep is Figure 1's conventional-window scaling ladder.
+func fig1Sweep() []core.Config {
+	return []core.Config{
 		core.ScaledConfig(64, 128),
 		core.ScaledConfig(128, 128),
 		core.ScaledConfig(256, 256),
@@ -90,6 +124,160 @@ func (s *Session) Figure1() ([]*stats.Table, error) {
 		core.ScaledConfig(2048, 2048),
 		core.ScaledConfig(4096, 4096),
 	}
+}
+
+func fig1Configs() []core.Config { return withBaseline(fig1Sweep()...) }
+
+func table2Configs() []core.Config { return withBaseline(core.WIBDefault()) }
+
+// fig4Sweep is Figure 4's comparison set: the two scaled conventional
+// machines and the WIB machine.
+func fig4Sweep() []core.Config {
+	return []core.Config{
+		core.ScaledConfig(32, 2048),
+		core.ScaledConfig(2048, 2048),
+		core.WIBDefault(),
+	}
+}
+
+func fig4Configs() []core.Config { return withBaseline(fig4Sweep()...) }
+
+var fig5BitVectors = []int{16, 32, 64, 1024}
+
+func fig5Configs() []core.Config {
+	var cfgs []core.Config
+	for _, bv := range fig5BitVectors {
+		cfgs = append(cfgs, core.WIBConfigSized(2048, bv))
+	}
+	return withBaseline(cfgs...)
+}
+
+var fig6Capacities = []int{128, 256, 512, 1024, 2048}
+
+func fig6Configs() []core.Config {
+	var cfgs []core.Config
+	for _, n := range fig6Capacities {
+		cfgs = append(cfgs, core.WIBConfigSized(n, 64))
+	}
+	return withBaseline(cfgs...)
+}
+
+// policySweep builds §4.4's selection-policy set: the banked reference
+// plus three idealized single-cycle WIBs differing only in policy.
+func policySweep() []core.Config {
+	mk := func(policy core.WIBPolicy, name string) core.Config {
+		cfg := core.WIBConfigSized(2048, 0)
+		cfg.WIB.Banked = false
+		cfg.WIB.Policy = policy
+		cfg.Name = name
+		return cfg
+	}
+	return []core.Config{
+		core.WIBDefault(), // (1) banked
+		mk(core.PolicyProgramOrder, "WIB-ideal/program-order"),
+		mk(core.PolicyRoundRobinLoad, "WIB-ideal/rr-load"),
+		mk(core.PolicyOldestLoad, "WIB-ideal/oldest-load"),
+	}
+}
+
+func policyConfigs() []core.Config { return withBaseline(policySweep()...) }
+
+// fig7Sweep compares the banked WIB against multicycle non-banked ones.
+func fig7Sweep() []core.Config {
+	mk := func(lat int64) core.Config {
+		cfg := core.WIBConfigSized(2048, 0)
+		cfg.WIB.Banked = false
+		cfg.WIB.AccessLatency = lat
+		cfg.Name = fmt.Sprintf("WIB-nonbanked/%dcyc", lat)
+		return cfg
+	}
+	return []core.Config{core.WIBDefault(), mk(4), mk(6)}
+}
+
+func fig7Configs() []core.Config { return withBaseline(fig7Sweep()...) }
+
+// poolSweep is the §3.5 extension set: the bit-vector reference plus
+// pool-of-blocks organizations over shrinking pool sizes.
+func poolSweep() []core.Config {
+	return []core.Config{
+		core.WIBDefault(), // bit-vector reference
+		core.WIBPoolOfBlocks(2048, 64, 32),
+		core.WIBPoolOfBlocks(2048, 16, 32),
+		core.WIBPoolOfBlocks(2048, 4, 32),
+	}
+}
+
+func poolConfigs() []core.Config { return withBaseline(poolSweep()...) }
+
+// sliceSweep is the §6 future-work set: slice cores, register-file
+// prefetch at reinsertion, and a multi-banked register file.
+func sliceSweep() []core.Config {
+	prefetch := core.WIBDefault()
+	prefetch.RFPrefetchOnReinsert = true
+	prefetch.Name = "WIB+rf-prefetch"
+	return []core.Config{
+		core.WIBDefault(),
+		core.WIBWithSliceCore(2048, 2),
+		core.WIBWithSliceCore(2048, 4),
+		prefetch,
+		core.WIBMultiBankedRF(2048, 8, 2),
+	}
+}
+
+func sliceConfigs() []core.Config { return withBaseline(sliceSweep()...) }
+
+// sensVariant is one §4.1 memory-system variation: the base and WIB
+// machines with the same modification applied to both.
+type sensVariant struct {
+	label string
+	base  core.Config
+	wib   core.Config
+}
+
+func sensVariantList() []sensVariant {
+	mk := func(label string, mod func(*core.Config)) sensVariant {
+		baseCfg := core.DefaultConfig()
+		mod(&baseCfg)
+		baseCfg.Name = "32-IQ/128/" + label
+		wibCfg := core.WIBDefault()
+		mod(&wibCfg)
+		wibCfg.Name = "WIB/" + label
+		return sensVariant{label: label, base: baseCfg, wib: wibCfg}
+	}
+	return []sensVariant{
+		mk("default (250-cycle mem)", func(c *core.Config) {}),
+		mk("100-cycle memory", func(c *core.Config) { c.Mem.MemLatency = 100 }),
+		mk("1MB L2", func(c *core.Config) { c.Mem.L2.SizeBytes = 1 << 20 }),
+	}
+}
+
+// sensBigL1D is §4.1's alternative area use: the conventional machine
+// with a doubled L1 data cache.
+func sensBigL1D() core.Config {
+	big := core.DefaultConfig()
+	big.Mem.L1D.SizeBytes = 64 << 10
+	big.Name = "32-IQ/128/64KB-L1D"
+	return big
+}
+
+func sensConfigs() []core.Config {
+	var cfgs []core.Config
+	for _, v := range sensVariantList() {
+		cfgs = append(cfgs, v.base, v.wib)
+	}
+	cfgs = append(cfgs, sensBigL1D())
+	return withBaseline(cfgs...)
+}
+
+// Figure1 is the limit study: conventional issue queues from 32 to 4K
+// entries (IQ ≤ 128 keep the 128-entry active list; larger configurations
+// scale the active list, registers, and LSQ with the queue, §2.2.2).
+func (s *Session) Figure1() ([]*stats.Table, error) {
+	base, err := s.baseline()
+	if err != nil {
+		return nil, err
+	}
+	configs := fig1Sweep()
 	var tables []*stats.Table
 	for _, suite := range suites {
 		t := &stats.Table{
@@ -171,11 +359,7 @@ func (s *Session) Figure4() ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	configs := []core.Config{
-		core.ScaledConfig(32, 2048),
-		core.ScaledConfig(2048, 2048),
-		core.WIBDefault(),
-	}
+	configs := fig4Sweep()
 	results := make([]map[string]*Result, len(configs))
 	for i, cfg := range configs {
 		r, err := s.RunAll(cfg)
@@ -224,7 +408,7 @@ func (s *Session) Figure5() ([]*stats.Table, error) {
 		Title:   "Figure 5: limited bit-vectors (2K WIB), suite-average speedup over 32-IQ/128",
 		Headers: suiteHeader(),
 	}
-	for _, bv := range []int{16, 32, 64, 1024} {
+	for _, bv := range fig5BitVectors {
 		cfg := core.WIBConfigSized(2048, bv)
 		res, err := s.RunAll(cfg)
 		if err != nil {
@@ -247,7 +431,7 @@ func (s *Session) Figure6() ([]*stats.Table, error) {
 		Title:   "Figure 6: WIB capacity effects (64 bit-vectors), suite-average speedup over 32-IQ/128",
 		Headers: suiteHeader(),
 	}
-	for _, n := range []int{128, 256, 512, 1024, 2048} {
+	for _, n := range fig6Capacities {
 		cfg := core.WIBConfigSized(n, 64)
 		res, err := s.RunAll(cfg)
 		if err != nil {
@@ -266,19 +450,6 @@ func (s *Session) PolicyStudy() ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	mk := func(policy core.WIBPolicy, name string) core.Config {
-		cfg := core.WIBConfigSized(2048, 0)
-		cfg.WIB.Banked = false
-		cfg.WIB.Policy = policy
-		cfg.Name = name
-		return cfg
-	}
-	configs := []core.Config{
-		core.WIBDefault(), // (1) banked
-		mk(core.PolicyProgramOrder, "WIB-ideal/program-order"),
-		mk(core.PolicyRoundRobinLoad, "WIB-ideal/rr-load"),
-		mk(core.PolicyOldestLoad, "WIB-ideal/oldest-load"),
-	}
 	t := &stats.Table{
 		Title:   "Section 4.4: selection policies, suite-average speedup over 32-IQ/128",
 		Headers: suiteHeader(),
@@ -287,7 +458,7 @@ func (s *Session) PolicyStudy() ([]*stats.Table, error) {
 		Title:   "Section 4.4: WIB insertion counts per WIB-using instruction",
 		Headers: []string{"configuration", "avg insertions", "max insertions"},
 	}
-	for _, cfg := range configs {
+	for _, cfg := range policySweep() {
 		res, err := s.RunAll(cfg)
 		if err != nil {
 			return nil, err
@@ -321,18 +492,11 @@ func (s *Session) Figure7() ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	mk := func(lat int64) core.Config {
-		cfg := core.WIBConfigSized(2048, 0)
-		cfg.WIB.Banked = false
-		cfg.WIB.AccessLatency = lat
-		cfg.Name = fmt.Sprintf("WIB-nonbanked/%dcyc", lat)
-		return cfg
-	}
 	t := &stats.Table{
 		Title:   "Figure 7: banked vs. non-banked WIB, suite-average speedup over 32-IQ/128",
 		Headers: suiteHeader(),
 	}
-	for _, cfg := range []core.Config{core.WIBDefault(), mk(4), mk(6)} {
+	for _, cfg := range fig7Sweep() {
 		res, err := s.RunAll(cfg)
 		if err != nil {
 			return nil, err
@@ -360,13 +524,7 @@ func (s *Session) PoolStudy() ([]*stats.Table, error) {
 		Title:   "Section 3.5 extension: pool-of-blocks overflow spills",
 		Headers: []string{"configuration", "total pool spills (all benchmarks)"},
 	}
-	configs := []core.Config{
-		core.WIBDefault(), // bit-vector reference
-		core.WIBPoolOfBlocks(2048, 64, 32),
-		core.WIBPoolOfBlocks(2048, 16, 32),
-		core.WIBPoolOfBlocks(2048, 4, 32),
-	}
-	for _, cfg := range configs {
+	for _, cfg := range poolSweep() {
 		res, err := s.RunAll(cfg)
 		if err != nil {
 			return nil, err
@@ -394,18 +552,8 @@ func (s *Session) SliceStudy() ([]*stats.Table, error) {
 		Title:   "Section 6 extension: future-work variants, suite-average speedup over 32-IQ/128",
 		Headers: suiteHeader(),
 	}
-	prefetch := core.WIBDefault()
-	prefetch.RFPrefetchOnReinsert = true
-	prefetch.Name = "WIB+rf-prefetch"
-	configs := []core.Config{
-		core.WIBDefault(),
-		core.WIBWithSliceCore(2048, 2),
-		core.WIBWithSliceCore(2048, 4),
-		prefetch,
-		core.WIBMultiBankedRF(2048, 8, 2),
-	}
 	var sliceTotal uint64
-	for _, cfg := range configs {
+	for _, cfg := range sliceSweep() {
 		res, err := s.RunAll(cfg)
 		if err != nil {
 			return nil, err
@@ -426,32 +574,16 @@ func (s *Session) Sensitivity() ([]*stats.Table, error) {
 		Title:   "Section 4.1 sensitivity: WIB speedup under memory-system variations",
 		Headers: suiteHeader(),
 	}
-	variant := func(label string, mod func(*core.Config)) error {
-		baseCfg := core.DefaultConfig()
-		mod(&baseCfg)
-		baseCfg.Name = "32-IQ/128/" + label
-		wibCfg := core.WIBDefault()
-		mod(&wibCfg)
-		wibCfg.Name = "WIB/" + label
-		base, err := s.RunAll(baseCfg)
+	for _, v := range sensVariantList() {
+		base, err := s.RunAll(v.base)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		wib, err := s.RunAll(wibCfg)
+		wib, err := s.RunAll(v.wib)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		suiteSpeedupRow(t, label, s.suiteAverages(wib, base))
-		return nil
-	}
-	if err := variant("default (250-cycle mem)", func(c *core.Config) {}); err != nil {
-		return nil, err
-	}
-	if err := variant("100-cycle memory", func(c *core.Config) { c.Mem.MemLatency = 100 }); err != nil {
-		return nil, err
-	}
-	if err := variant("1MB L2", func(c *core.Config) { c.Mem.L2.SizeBytes = 1 << 20 }); err != nil {
-		return nil, err
+		suiteSpeedupRow(t, v.label, s.suiteAverages(wib, base))
 	}
 	t.AddNote("paper: 100-cycle memory shrinks WIB gains to +5%%/+30%%/+17%%; 1MB L2 to +5%%/+61%%/+38%%")
 
@@ -464,10 +596,7 @@ func (s *Session) Sensitivity() ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	big := core.DefaultConfig()
-	big.Mem.L1D.SizeBytes = 64 << 10
-	big.Name = "32-IQ/128/64KB-L1D"
-	bigRes, err := s.RunAll(big)
+	bigRes, err := s.RunAll(sensBigL1D())
 	if err != nil {
 		return nil, err
 	}

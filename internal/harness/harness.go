@@ -1,7 +1,13 @@
-// Package harness runs the paper's evaluation: it executes (benchmark ×
-// configuration) simulations, memoizes results within a session, and
-// regenerates every table and figure of the paper (DESIGN.md §3 maps each
-// experiment to the module that implements it).
+// Package harness runs the paper's evaluation: it expands (benchmark ×
+// configuration) grids into campaign cells, executes them through the
+// sharded campaign engine (internal/campaign), and regenerates every
+// table and figure of the paper (DESIGN.md §3 maps each experiment to the
+// module that implements it).
+//
+// Session is a thin view over the campaign store: Run and RunAll resolve
+// cells through the engine — which memoizes in-process, executes on a
+// bounded work-stealing pool, and (when CacheDir is set) persists every
+// finished cell so a later session resumes without recomputation.
 package harness
 
 import (
@@ -12,12 +18,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"largewindow/internal/campaign"
 	"largewindow/internal/core"
 	"largewindow/internal/stats"
 	"largewindow/internal/telemetry"
@@ -46,7 +52,9 @@ type Options struct {
 	RunDeadline time.Duration
 	// PreRun, when non-nil, is invoked on each freshly constructed
 	// processor before its run starts. It exists for tests (fault
-	// injection, tracing hooks); production sessions leave it nil.
+	// injection, tracing hooks); production sessions leave it nil. Note
+	// that cache-served cells never construct a processor, so PreRun and
+	// CacheDir+Resume do not combine meaningfully.
 	PreRun func(p *core.Processor, cfg core.Config, spec workload.Spec)
 	// TelemetryDir, when non-empty, attaches a telemetry collector to
 	// every run and writes one JSONL sample series per cell to
@@ -55,6 +63,13 @@ type Options struct {
 	// SampleInterval is the telemetry sampling period in cycles
 	// (0 = telemetry.DefaultSampleInterval).
 	SampleInterval int64
+	// CacheDir, when non-empty, persists every finished cell's result as
+	// schema-versioned JSON in an on-disk content-addressed store.
+	CacheDir string
+	// Resume serves cells already present in CacheDir from disk instead
+	// of re-executing them. Without Resume the store is write-only and a
+	// fresh campaign overwrites old records.
+	Resume bool
 }
 
 func (o Options) withDefaults() Options {
@@ -85,33 +100,83 @@ type Result struct {
 	Err     error   // non-nil: the cell failed (SimError or panic)
 }
 
-// memoCell memoizes one (benchmark × configuration) execution. The
-// sync.Once guarantees a single execution even under concurrent Run
-// calls, and — unlike the result-map it replaces — it memoizes failures
-// too: a crashed cell is not silently re-run by the next experiment that
-// needs it.
-type memoCell struct {
+// viewCell is the session's once-per-cell view over the engine: the
+// sync.Once guarantees one Record→Result conversion (so every caller
+// sees the same *Result pointer) and one failure-list entry, even under
+// concurrent Run calls. Successes and failures alike are memoized — a
+// crashed cell is not silently re-run by the next experiment needing it.
+type viewCell struct {
 	once sync.Once
 	res  *Result
 	err  error
 }
 
-// Session runs and memoizes simulations.
+// Session runs and memoizes simulations as a view over a campaign
+// engine. Construction never fails fatally: an unusable cache directory
+// degrades to an in-process-only session with the error recorded in
+// StoreErr.
 type Session struct {
-	opt      Options
+	opt   Options
+	eng   *campaign.Engine
+	store *campaign.Store
+
 	mu       sync.Mutex
-	memo     map[string]*memoCell
+	view     map[string]*viewCell
 	failures []*Result
-	sem      chan struct{}
+	storeErr error
 }
 
-// NewSession creates a harness session.
+// NewSession creates a harness session. When opt.CacheDir is set, the
+// session opens (creating if needed) the persistent result store there;
+// a store that cannot be opened is reported via StoreErr and the session
+// falls back to in-process memoization only.
 func NewSession(opt Options) *Session {
 	opt = opt.withDefaults()
-	return &Session{
+	s := &Session{
 		opt:  opt,
-		memo: make(map[string]*memoCell),
-		sem:  make(chan struct{}, opt.Parallel),
+		view: make(map[string]*viewCell),
+	}
+	if opt.CacheDir != "" {
+		store, err := campaign.NewStore(opt.CacheDir)
+		if err != nil {
+			s.storeErr = err
+			if opt.Log != nil {
+				fmt.Fprintf(opt.Log, "  cache disabled: %v\n", err)
+			}
+		} else {
+			s.store = store
+		}
+	}
+	s.eng = campaign.NewEngine(s.execCell, campaign.Options{
+		Workers:     opt.Parallel,
+		Store:       s.store,
+		Resume:      opt.Resume,
+		IsTransient: transient,
+		Log:         opt.Log,
+	})
+	return s
+}
+
+// Campaign exposes the session's engine (progress counters, priming).
+func (s *Session) Campaign() *campaign.Engine { return s.eng }
+
+// Store returns the persistent result store, nil when CacheDir is unset
+// or unusable.
+func (s *Session) Store() *campaign.Store { return s.store }
+
+// StoreErr reports why the persistent store is unavailable (nil when it
+// is usable or was never requested).
+func (s *Session) StoreErr() error { return s.storeErr }
+
+// cell maps one (configuration × benchmark) onto its campaign cell under
+// the session's budgets.
+func (s *Session) cell(cfg core.Config, bench string) campaign.Cell {
+	return campaign.Cell{
+		Config:    cfg,
+		Bench:     bench,
+		Scale:     s.opt.Scale,
+		MaxInstr:  s.opt.MaxInstr,
+		MaxCycles: s.opt.MaxCycles,
 	}
 }
 
@@ -134,61 +199,70 @@ func (s *Session) benchmarks() []workload.Spec {
 	return out
 }
 
-// Run simulates one benchmark under one configuration. Executions are
-// memoized — successes and failures alike — and single-flight: under
-// concurrent callers exactly one goroutine runs the cell while the rest
-// wait on its result. A run that dies with a transient failure (wall-
-// clock deadline) is retried once before the cell is recorded as failed.
+// Run simulates one benchmark under one configuration by resolving its
+// campaign cell: served from this session's memo, from the persistent
+// store (Resume), or executed on the engine's worker pool — single-
+// flight in every case, with transient failures retried once before the
+// cell is recorded as failed.
 func (s *Session) Run(cfg core.Config, spec workload.Spec) (*Result, error) {
-	key := cfg.Name + "\x00" + spec.Name
+	cell := s.cell(cfg, spec.Name)
+	id := cell.ID()
 	s.mu.Lock()
-	c, ok := s.memo[key]
+	vc, ok := s.view[id]
 	if !ok {
-		c = &memoCell{}
-		s.memo[key] = c
+		vc = &viewCell{}
+		s.view[id] = vc
 	}
 	s.mu.Unlock()
 
-	c.once.Do(func() {
-		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
-		c.res, c.err = s.runOnce(cfg, spec)
-		if c.err != nil && transient(c.err) {
-			if s.opt.Log != nil {
-				fmt.Fprintf(s.opt.Log, "  RETRY %s on %s: %v\n", spec.Name, cfg.Name, c.err)
-			}
-			c.res, c.err = s.runOnce(cfg, spec)
-		}
-		if c.err != nil {
-			c.err = fmt.Errorf("%s on %s: %w", spec.Name, cfg.Name, c.err)
-			c.res = &Result{Bench: spec.Name, Suite: spec.Suite, Config: cfg.Name, Err: c.err}
+	vc.once.Do(func() {
+		rec, err := s.eng.Run(cell)
+		if err != nil {
+			err = fmt.Errorf("%s on %s: %w", spec.Name, cfg.Name, err)
+			vc.res = &Result{Bench: spec.Name, Suite: spec.Suite, Config: cfg.Name, Err: err}
+			vc.err = err
 			s.mu.Lock()
-			s.failures = append(s.failures, c.res)
+			s.failures = append(s.failures, vc.res)
 			s.mu.Unlock()
 			if s.opt.Log != nil {
-				fmt.Fprintf(s.opt.Log, "  FAIL %-10s on %-16s %v\n", spec.Name, cfg.Name, c.err)
+				fmt.Fprintf(s.opt.Log, "  FAIL %-10s on %-16s %v\n", spec.Name, cfg.Name, err)
 			}
 			return
 		}
-		if s.opt.Log != nil {
-			fmt.Fprintf(s.opt.Log, "  ran %-10s on %-16s IPC=%.3f cycles=%d dl1=%.3f l2=%.3f\n",
-				spec.Name, cfg.Name, c.res.IPC, c.res.Stats.Cycles, c.res.DL1Miss, c.res.L2Local)
-		}
+		vc.res = recordToResult(rec, spec)
 	})
-	return c.res, c.err
+	return vc.res, vc.err
 }
 
-// runOnce executes one simulation in isolation: a panic that escapes the
-// core's own recovery (or lives in harness/workload code) is caught here
-// and returned as an error, so one bad cell cannot take down a sweep's
-// worker goroutine — and with it the whole process.
-func (s *Session) runOnce(cfg core.Config, spec workload.Spec) (r *Result, err error) {
-	defer func() {
-		if rec := recover(); rec != nil {
-			err = fmt.Errorf("harness: panic: %v\n%s", rec, debug.Stack())
-		}
-	}()
-	prog := spec.Build(s.opt.Scale)
+// recordToResult converts a campaign record (fresh or cache-served) into
+// the harness view the table generators consume.
+func recordToResult(rec *campaign.Record, spec workload.Spec) *Result {
+	suite := spec.Suite
+	if parsed, ok := workload.ParseSuite(rec.Suite); ok {
+		suite = parsed
+	}
+	return &Result{
+		Bench:   rec.Bench,
+		Suite:   suite,
+		Config:  rec.Config,
+		IPC:     rec.IPC,
+		Stats:   rec.Stats,
+		DL1Miss: rec.DL1Miss,
+		L2Local: rec.L2Local,
+		BrAcc:   rec.BrAcc,
+	}
+}
+
+// execCell is the engine's executor: it builds the kernel, constructs
+// the processor, and runs one cell to completion. The engine wraps it
+// with panic isolation and the transient-retry policy.
+func (s *Session) execCell(cell campaign.Cell) (*campaign.Record, error) {
+	spec, ok := workload.Get(cell.Bench)
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown benchmark %q", cell.Bench)
+	}
+	cfg := cell.Config
+	prog := spec.Build(cell.Scale)
 	p, err := core.New(cfg, prog)
 	if err != nil {
 		return nil, err
@@ -206,7 +280,7 @@ func (s *Session) runOnce(cfg core.Config, spec workload.Spec) (r *Result, err e
 		ctx, cancel = context.WithTimeout(ctx, s.opt.RunDeadline)
 		defer cancel()
 	}
-	st, err := p.RunContext(ctx, s.opt.MaxInstr, s.opt.MaxCycles)
+	st, err := p.RunContext(ctx, cell.MaxInstr, cell.MaxCycles)
 	if closeTelemetry != nil {
 		if terr := closeTelemetry(st.Cycles); terr != nil && s.opt.Log != nil {
 			fmt.Fprintf(s.opt.Log, "  telemetry %s on %s: %v\n", spec.Name, cfg.Name, terr)
@@ -216,21 +290,29 @@ func (s *Session) runOnce(cfg core.Config, spec workload.Spec) (r *Result, err e
 		var se *core.SimError
 		if errors.As(err, &se) {
 			se.Bench = spec.Name
-			se.Scale = s.opt.Scale.String()
+			se.Scale = cell.Scale.String()
 		}
 		return nil, err
 	}
 	h := p.Hierarchy()
-	return &Result{
-		Bench:   spec.Name,
-		Suite:   spec.Suite,
-		Config:  cfg.Name,
-		IPC:     st.IPC,
-		Stats:   *st,
-		DL1Miss: h.L1DStats().MissRatio(),
-		L2Local: h.L2Stats().MissRatio(),
-		BrAcc:   st.CondAccuracy(),
-	}, nil
+	rec := &campaign.Record{
+		Config:    cfg.Name,
+		Bench:     spec.Name,
+		Suite:     spec.Suite.String(),
+		Scale:     cell.Scale.String(),
+		MaxInstr:  cell.MaxInstr,
+		MaxCycles: cell.MaxCycles,
+		IPC:       st.IPC,
+		Stats:     *st,
+		DL1Miss:   h.L1DStats().MissRatio(),
+		L2Local:   h.L2Stats().MissRatio(),
+		BrAcc:     st.CondAccuracy(),
+	}
+	if s.opt.Log != nil {
+		fmt.Fprintf(s.opt.Log, "  ran %-10s on %-16s IPC=%.3f cycles=%d dl1=%.3f l2=%.3f\n",
+			spec.Name, cfg.Name, rec.IPC, rec.Stats.Cycles, rec.DL1Miss, rec.L2Local)
+	}
+	return rec, nil
 }
 
 // attachTelemetry wires a per-cell JSONL collector when TelemetryDir is
@@ -302,6 +384,15 @@ func (s *Session) RunAll(cfg core.Config) (map[string]*Result, error) {
 	return out, errors.Join(errs...)
 }
 
+// Prime submits a manifest to the engine without waiting: the worker
+// pool starts crunching the whole campaign immediately while experiment
+// tables render in their own order, each waiting only on the cells it
+// needs. Returns the manifest size.
+func (s *Session) Prime(m campaign.Manifest) int {
+	s.eng.Prime(m.Cells())
+	return m.Len()
+}
+
 // Failures returns the failed cells recorded so far, ordered by
 // (config, benchmark).
 func (s *Session) Failures() []*Result {
@@ -364,18 +455,6 @@ func (s *Session) suiteAverages(news, olds map[string]*Result) map[workload.Suit
 		out[suite] = stats.ArithMean(xs)
 	}
 	return out
-}
-
-// orderedBenchNames returns the benchmark names present in m, table order.
-func (s *Session) orderedBenchNames(m map[string]*Result) []string {
-	var names []string
-	for _, sp := range s.benchmarks() {
-		if _, ok := m[sp.Name]; ok {
-			names = append(names, sp.Name)
-		}
-	}
-	sort.SliceStable(names, func(i, j int) bool { return false }) // already ordered
-	return names
 }
 
 var suites = []workload.Suite{workload.SuiteInt, workload.SuiteFP, workload.SuiteOlden}

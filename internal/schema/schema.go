@@ -1,0 +1,70 @@
+// Package schema centralizes the on-disk JSON schema versioning shared
+// by every persisted artifact family: campaign result records, crash
+// dumps (`wibtrace -replay`), and telemetry sample streams. Each artifact
+// embeds a `schema_version` field; readers accept any version up to the
+// current one (older encodings decode through the compat path their
+// golden tests pin down) and reject newer versions with a descriptive
+// error rather than misreading fields that did not exist when the reader
+// was written.
+package schema
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Artifact schema versions. Bump a constant when its artifact's encoding
+// changes shape, and extend the corresponding golden-file decode test
+// with the previous version.
+const (
+	// ResultVersion covers campaign cell records and the public
+	// largewindow.Result encoding.
+	ResultVersion = 1
+	// CrashDumpVersion covers core.SimError JSON crash dumps. Version 0
+	// is the legacy pre-versioning encoding, still accepted on decode.
+	CrashDumpVersion = 1
+	// TelemetryVersion covers the JSONL sample-stream header line.
+	TelemetryVersion = 1
+)
+
+// Header is the leading line of stream-shaped artifacts (telemetry JSONL)
+// and the sniffable prefix of document-shaped ones.
+type Header struct {
+	SchemaVersion int    `json:"schema_version"`
+	Kind          string `json:"kind,omitempty"`
+}
+
+// Check validates a decoded artifact's version against the reader's
+// current version. Version 0 is the legacy unversioned encoding and is
+// always accepted: every artifact family predates its schema_version
+// field, and old files must keep decoding.
+func Check(got, current int, what string) error {
+	if got < 0 || got > current {
+		return fmt.Errorf("schema: %s version %d not supported (reader understands ≤ %d)", what, got, current)
+	}
+	return nil
+}
+
+// SniffHeader reports whether the JSON document on line is a bare header
+// (a schema_version marker with no payload fields), returning the decoded
+// header when it is. Payload records that happen to carry their version
+// inline are NOT headers and return ok=false.
+func SniffHeader(line []byte) (Header, bool) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(line, &probe); err != nil {
+		return Header{}, false
+	}
+	if _, hasVer := probe["schema_version"]; !hasVer {
+		return Header{}, false
+	}
+	for k := range probe {
+		if k != "schema_version" && k != "kind" {
+			return Header{}, false
+		}
+	}
+	var h Header
+	if err := json.Unmarshal(line, &h); err != nil {
+		return Header{}, false
+	}
+	return h, true
+}

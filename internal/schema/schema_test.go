@@ -1,0 +1,42 @@
+package schema
+
+import "testing"
+
+func TestCheck(t *testing.T) {
+	if err := Check(0, ResultVersion, "record"); err != nil {
+		t.Errorf("legacy version 0 rejected: %v", err)
+	}
+	if err := Check(ResultVersion, ResultVersion, "record"); err != nil {
+		t.Errorf("current version rejected: %v", err)
+	}
+	if err := Check(ResultVersion+1, ResultVersion, "record"); err == nil {
+		t.Error("future version accepted")
+	}
+	if err := Check(-1, ResultVersion, "record"); err == nil {
+		t.Error("negative version accepted")
+	}
+}
+
+func TestSniffHeader(t *testing.T) {
+	cases := []struct {
+		line string
+		ok   bool
+		ver  int
+	}{
+		{`{"schema_version":1,"kind":"telemetry-samples"}`, true, 1},
+		{`{"schema_version":3}`, true, 3},
+		{`{"cycle":1000,"interval":1000}`, false, 0},    // payload record
+		{`{"schema_version":1,"cycle":1000}`, false, 0}, // version carried inline
+		{`not json`, false, 0},
+		{``, false, 0},
+	}
+	for _, c := range cases {
+		h, ok := SniffHeader([]byte(c.line))
+		if ok != c.ok {
+			t.Errorf("SniffHeader(%q) ok=%v, want %v", c.line, ok, c.ok)
+		}
+		if ok && h.SchemaVersion != c.ver {
+			t.Errorf("SniffHeader(%q) version=%d, want %d", c.line, h.SchemaVersion, c.ver)
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"largewindow/internal/schema"
 )
 
 // DefaultSampleInterval is the sampling period (in cycles) used when a
@@ -50,13 +52,14 @@ type Collector struct {
 }
 
 // NewCollector builds a collector sampling every interval cycles into w.
-// A non-positive interval selects DefaultSampleInterval.
+// A non-positive interval selects DefaultSampleInterval. The stream opens
+// with a schema-version header line; ReadSamples validates and skips it.
 func NewCollector(w io.Writer, interval int64) *Collector {
 	if interval <= 0 {
 		interval = DefaultSampleInterval
 	}
 	bw := bufio.NewWriter(w)
-	return &Collector{
+	c := &Collector{
 		reg:      NewRegistry(),
 		interval: interval,
 		bw:       bw,
@@ -64,6 +67,13 @@ func NewCollector(w io.Writer, interval int64) *Collector {
 		prev:     make(map[string]uint64),
 		next:     interval,
 	}
+	if err := c.enc.Encode(schema.Header{
+		SchemaVersion: schema.TelemetryVersion,
+		Kind:          "telemetry-samples",
+	}); err != nil {
+		c.err = err
+	}
+	return c
 }
 
 // Registry returns the collector's metric registry.
@@ -159,6 +169,14 @@ func ReadSamples(r io.Reader) ([]Sample, error) {
 		lineNo++
 		line := sc.Bytes()
 		if len(line) == 0 {
+			continue
+		}
+		// A schema-version header line opens streams written since the
+		// encoding was versioned; legacy headerless streams still decode.
+		if h, ok := schema.SniffHeader(line); ok {
+			if err := schema.Check(h.SchemaVersion, schema.TelemetryVersion, "telemetry stream"); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		var s Sample

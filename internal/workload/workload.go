@@ -43,6 +43,21 @@ func (s Suite) String() string {
 	}
 }
 
+// ParseSuite is the inverse of Suite.String, used when decoding
+// persisted campaign records.
+func ParseSuite(s string) (Suite, bool) {
+	switch s {
+	case "SPEC-INT":
+		return SuiteInt, true
+	case "SPEC-FP":
+		return SuiteFP, true
+	case "Olden":
+		return SuiteOlden, true
+	default:
+		return 0, false
+	}
+}
+
 // Scale selects the working-set / iteration sizing of a kernel.
 type Scale int
 
@@ -63,6 +78,21 @@ func (s Scale) String() string {
 		return "full"
 	default:
 		return fmt.Sprintf("scale%d", int(s))
+	}
+}
+
+// ParseScale is the inverse of Scale.String, used by the CLIs and when
+// decoding persisted campaign records.
+func ParseScale(s string) (Scale, bool) {
+	switch s {
+	case "test":
+		return ScaleTest, true
+	case "run":
+		return ScaleRun, true
+	case "full":
+		return ScaleFull, true
+	default:
+		return 0, false
 	}
 }
 

@@ -14,23 +14,37 @@
 //	internal/regfile   single- and two-level register file timing
 //	internal/core      the out-of-order pipeline and the WIB
 //	internal/workload  the 18 benchmark kernels of the evaluation
+//	internal/campaign  sharded campaign engine with a persistent result cache
 //	internal/harness   the paper's experiments (Figures 1,4-7; Table 2; §4)
 //
 // Quick start:
 //
+//	ctx := context.Background()
 //	prog := largewindow.Benchmark("art", largewindow.ScaleTest)
-//	base, _ := largewindow.Simulate(largewindow.BaseConfig(), prog, 0)
-//	wib, _ := largewindow.Simulate(largewindow.WIBConfig(), prog, 0)
+//	base, _ := largewindow.SimulateContext(ctx, largewindow.BaseConfig(), prog)
+//	wib, _ := largewindow.SimulateContext(ctx, largewindow.WIBConfig(), prog)
 //	fmt.Printf("speedup %.2fx\n", wib.IPC()/base.IPC())
+//
+// Budgeted runs, wall-clock bounds, and telemetry attach as options:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	res, err := largewindow.SimulateContext(ctx, cfg, prog,
+//	    largewindow.WithMaxInstr(300_000),
+//	    largewindow.WithTelemetry(samplesFile, 0))
 package largewindow
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
+	"strings"
 
 	"largewindow/internal/core"
 	"largewindow/internal/emu"
 	"largewindow/internal/isa"
+	"largewindow/internal/telemetry"
 	"largewindow/internal/workload"
 )
 
@@ -78,21 +92,35 @@ func ScaledConfig(issueQueue, activeList int) Config {
 // NewBuilder starts a new program.
 func NewBuilder(name string) *Builder { return isa.NewBuilder(name) }
 
-// Benchmark builds one of the evaluation kernels by name ("art",
-// "treeadd", ...; see BenchmarkNames). It panics on unknown names so the
-// quick-start path stays one line; use workload.Get for error handling.
-func Benchmark(name string, scale Scale) *Program {
+// LookupBenchmark builds one of the evaluation kernels by name ("art",
+// "treeadd", ...). Unknown names return an error that lists every valid
+// benchmark.
+func LookupBenchmark(name string, scale Scale) (*Program, error) {
 	spec, ok := workload.Get(name)
 	if !ok {
-		panic(fmt.Sprintf("largewindow: unknown benchmark %q", name))
+		return nil, fmt.Errorf("largewindow: unknown benchmark %q (valid: %s)",
+			name, strings.Join(workload.Names(), ", "))
 	}
-	return spec.Build(scale)
+	return spec.Build(scale), nil
+}
+
+// Benchmark is LookupBenchmark for the quick-start path: it panics on
+// unknown names (the message lists every valid benchmark) so the happy
+// path stays one line.
+func Benchmark(name string, scale Scale) *Program {
+	prog, err := LookupBenchmark(name, scale)
+	if err != nil {
+		panic(err.Error())
+	}
+	return prog
 }
 
 // BenchmarkNames lists the evaluation kernels in the paper's table order.
 func BenchmarkNames() []string { return workload.Names() }
 
-// Result is the outcome of one simulation.
+// Result is the outcome of one simulation. It serializes to
+// schema-versioned JSON (see MarshalJSON) so encoded results can be
+// stored and decoded across releases.
 type Result struct {
 	Stats Stats
 	// Derived memory-system ratios.
@@ -108,17 +136,66 @@ type Result struct {
 // IPC returns committed instructions per cycle.
 func (r *Result) IPC() float64 { return r.Stats.IPC }
 
-// Simulate runs prog on the given configuration until it halts or commits
-// maxInstr instructions (0 = run to completion).
-func Simulate(cfg Config, prog *Program, maxInstr uint64) (*Result, error) {
+// simOptions collects the option-configurable knobs of SimulateContext.
+type simOptions struct {
+	maxInstr       uint64
+	maxCycles      int64
+	telemetryW     io.Writer
+	sampleInterval int64
+}
+
+// Option configures a SimulateContext run.
+type Option func(*simOptions)
+
+// WithMaxInstr bounds the run to n committed instructions (0, the
+// default, runs to completion). Budget-bounded runs return a Result with
+// Halted == false.
+func WithMaxInstr(n uint64) Option {
+	return func(o *simOptions) { o.maxInstr = n }
+}
+
+// WithMaxCycles bounds the run to n simulated cycles (0, the default,
+// means unbounded).
+func WithMaxCycles(n int64) Option {
+	return func(o *simOptions) { o.maxCycles = n }
+}
+
+// WithTelemetry attaches a cycle-sampled telemetry collector to the run
+// and streams schema-versioned JSONL samples to w. sampleInterval is the
+// sampling period in cycles (0 = the collector's default).
+func WithTelemetry(w io.Writer, sampleInterval int64) Option {
+	return func(o *simOptions) {
+		o.telemetryW = w
+		o.sampleInterval = sampleInterval
+	}
+}
+
+// SimulateContext runs prog on the given configuration until it halts,
+// exhausts an option-configured budget, or ctx is done — cancellation
+// and deadlines abort the simulation promptly with ctx's error.
+func SimulateContext(ctx context.Context, cfg Config, prog *Program, opts ...Option) (*Result, error) {
+	var o simOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	p, err := core.New(cfg, prog)
 	if err != nil {
 		return nil, err
 	}
-	st, err := p.Run(maxInstr, 0)
-	halted := err == nil
-	if err != nil && !errors.Is(err, core.ErrBudget) {
-		return nil, err
+	var col *telemetry.Collector
+	if o.telemetryW != nil {
+		col = telemetry.NewCollector(o.telemetryW, o.sampleInterval)
+		p.AttachTelemetry(col)
+	}
+	st, runErr := p.RunContext(ctx, o.maxInstr, o.maxCycles)
+	if col != nil {
+		if cerr := col.Close(st.Cycles); cerr != nil && (runErr == nil || errors.Is(runErr, core.ErrBudget)) {
+			return nil, fmt.Errorf("largewindow: telemetry: %w", cerr)
+		}
+	}
+	halted := runErr == nil
+	if runErr != nil && !errors.Is(runErr, core.ErrBudget) {
+		return nil, runErr
 	}
 	h := p.Hierarchy()
 	return &Result{
@@ -128,6 +205,16 @@ func Simulate(cfg Config, prog *Program, maxInstr uint64) (*Result, error) {
 		TLBMissRatio:     h.TLBMissRatio(),
 		Halted:           halted,
 	}, nil
+}
+
+// Simulate runs prog on the given configuration until it halts or commits
+// maxInstr instructions (0 = run to completion).
+//
+// Deprecated: Use SimulateContext, which adds cancellation, cycle
+// budgets, and telemetry via options. Simulate is equivalent to
+// SimulateContext(context.Background(), cfg, prog, WithMaxInstr(maxInstr)).
+func Simulate(cfg Config, prog *Program, maxInstr uint64) (*Result, error) {
+	return SimulateContext(context.Background(), cfg, prog, WithMaxInstr(maxInstr))
 }
 
 // Emulate runs prog on the architectural emulator (no timing) and returns

@@ -1,0 +1,195 @@
+package largewindow
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"largewindow/internal/telemetry"
+)
+
+func TestSimulateContextMatchesSimulate(t *testing.T) {
+	prog := tinyProgram(t)
+	v1, err := Simulate(BaseConfig(), prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := SimulateContext(context.Background(), BaseConfig(), tinyProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.Halted {
+		t.Error("v2 run did not halt")
+	}
+	if v1.Stats.Cycles != v2.Stats.Cycles || v1.Stats.StreamHash != v2.Stats.StreamHash {
+		t.Errorf("v1 and v2 runs diverge: %d/%d cycles", v1.Stats.Cycles, v2.Stats.Cycles)
+	}
+}
+
+func TestSimulateContextMaxInstr(t *testing.T) {
+	prog := Benchmark("gzip", ScaleTest)
+	res, err := SimulateContext(context.Background(), BaseConfig(), prog, WithMaxInstr(2_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Error("budgeted run reported halted")
+	}
+	if res.Stats.Committed < 2_000 {
+		t.Errorf("committed %d < budget", res.Stats.Committed)
+	}
+}
+
+func TestSimulateContextMaxCycles(t *testing.T) {
+	prog := Benchmark("gzip", ScaleTest)
+	res, err := SimulateContext(context.Background(), BaseConfig(), prog, WithMaxCycles(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Error("cycle-budgeted run reported halted")
+	}
+	if res.Stats.Cycles < 500 || res.Stats.Cycles > 1_000 {
+		t.Errorf("cycles = %d, want ~500", res.Stats.Cycles)
+	}
+}
+
+func TestSimulateContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead before the run starts
+	prog := Benchmark("mst", ScaleRun)
+	_, err := SimulateContext(ctx, BaseConfig(), prog)
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error does not unwrap to context.Canceled: %v", err)
+	}
+}
+
+func TestSimulateContextTelemetry(t *testing.T) {
+	var buf bytes.Buffer
+	prog := Benchmark("gzip", ScaleTest)
+	res, err := SimulateContext(context.Background(), BaseConfig(), prog,
+		WithMaxInstr(5_000), WithTelemetry(&buf, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := telemetry.ReadSamples(&buf)
+	if err != nil {
+		t.Fatalf("telemetry stream unreadable: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no telemetry samples collected")
+	}
+	last := samples[len(samples)-1]
+	if last.Cycle > res.Stats.Cycles {
+		t.Errorf("sample cycle %d beyond run end %d", last.Cycle, res.Stats.Cycles)
+	}
+}
+
+func TestLookupBenchmark(t *testing.T) {
+	prog, err := LookupBenchmark("art", ScaleTest)
+	if err != nil || prog == nil {
+		t.Fatalf("LookupBenchmark(art) = %v, %v", prog, err)
+	}
+	_, err = LookupBenchmark("nope", ScaleTest)
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	// The error must teach the caller the valid names.
+	for _, name := range []string{"art", "gzip", "treeadd"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list %q", err, name)
+		}
+	}
+}
+
+func TestBenchmarkPanicListsNames(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic for unknown benchmark")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "gzip") {
+			t.Errorf("panic %v does not list valid benchmarks", r)
+		}
+	}()
+	Benchmark("nope", ScaleTest)
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	prog := Benchmark("gzip", ScaleTest)
+	res, err := SimulateContext(context.Background(), BaseConfig(), prog, WithMaxInstr(5_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"schema_version":1`)) {
+		t.Error("encoded result carries no schema version")
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*res, back) {
+		t.Error("result JSON round-trip lost data")
+	}
+	// Derived metrics that live in unexported Stats fields must survive.
+	if back.Stats.AvgMLP() != res.Stats.AvgMLP() || back.Stats.AvgROBOccupancy() != res.Stats.AvgROBOccupancy() {
+		t.Error("derived stats diverge after round-trip")
+	}
+}
+
+func TestResultJSONGoldenV1(t *testing.T) {
+	data, err := os.ReadFile("testdata/result_v1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("golden v1 result no longer decodes: %v", err)
+	}
+	if res.Stats.Committed != 300000 || res.Stats.Cycles != 98304 {
+		t.Errorf("golden stats mangled: committed=%d cycles=%d", res.Stats.Committed, res.Stats.Cycles)
+	}
+	if res.DL1MissRatio != 0.2034 || res.TLBMissRatio != 0.0021 {
+		t.Errorf("golden ratios mangled: dl1=%v tlb=%v", res.DL1MissRatio, res.TLBMissRatio)
+	}
+	if res.Halted {
+		t.Error("golden halted flag mangled")
+	}
+	if res.Stats.AvgMLP() == 0 {
+		t.Error("golden MLP accumulators lost in decode")
+	}
+}
+
+func TestResultJSONRejectsFutureSchema(t *testing.T) {
+	var res Result
+	err := json.Unmarshal([]byte(`{"schema_version": 99, "halted": true}`), &res)
+	if err == nil {
+		t.Fatal("future schema version accepted")
+	}
+	if !strings.Contains(err.Error(), "99") {
+		t.Errorf("error %q does not name the offending version", err)
+	}
+}
+
+func TestResultJSONAcceptsLegacyUnversioned(t *testing.T) {
+	var res Result
+	if err := json.Unmarshal([]byte(`{"halted": true}`), &res); err != nil {
+		t.Fatalf("legacy unversioned result rejected: %v", err)
+	}
+	if !res.Halted {
+		t.Error("legacy decode dropped fields")
+	}
+}

@@ -1,0 +1,54 @@
+package largewindow
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"largewindow/internal/schema"
+)
+
+// resultWire is Result's stable JSON shape. The schema_version field is
+// stamped on encode and checked on decode, so results persisted by one
+// release (campaign caches, -telemetry-out captures, crash-dump
+// attachments) decode — or fail loudly — under another.
+type resultWire struct {
+	SchemaVersion    int     `json:"schema_version"`
+	Stats            Stats   `json:"stats"`
+	DL1MissRatio     float64 `json:"dl1_miss_ratio"`
+	L2LocalMissRatio float64 `json:"l2_local_miss_ratio"`
+	TLBMissRatio     float64 `json:"tlb_miss_ratio"`
+	Halted           bool    `json:"halted"`
+}
+
+// MarshalJSON encodes the result with the current schema version.
+func (r Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resultWire{
+		SchemaVersion:    schema.ResultVersion,
+		Stats:            r.Stats,
+		DL1MissRatio:     r.DL1MissRatio,
+		L2LocalMissRatio: r.L2LocalMissRatio,
+		TLBMissRatio:     r.TLBMissRatio,
+		Halted:           r.Halted,
+	})
+}
+
+// UnmarshalJSON decodes a result, rejecting encodings from a newer
+// schema than this build understands (version 0, i.e. absent, is
+// accepted as the pre-versioning legacy encoding).
+func (r *Result) UnmarshalJSON(data []byte) error {
+	var w resultWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("largewindow: decode result: %w", err)
+	}
+	if err := schema.Check(w.SchemaVersion, schema.ResultVersion, "result"); err != nil {
+		return err
+	}
+	*r = Result{
+		Stats:            w.Stats,
+		DL1MissRatio:     w.DL1MissRatio,
+		L2LocalMissRatio: w.L2LocalMissRatio,
+		TLBMissRatio:     w.TLBMissRatio,
+		Halted:           w.Halted,
+	}
+	return nil
+}

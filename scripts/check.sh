@@ -27,6 +27,39 @@ go test -count=1 -run 'TestSteadyStateAllocFree' ./internal/heap/
 echo "== fault-injection smoke sweep =="
 go test -count=1 -run 'TestCampaignDetectsEveryFault|TestWatchdogFaultsBounded' ./internal/fault/
 
+echo "== deprecated Simulate() is facade-only =="
+# New code takes SimulateContext; the one legitimate Simulate caller is
+# the deprecated wrapper itself (and its own regression test).
+if grep -rn 'largewindow\.Simulate(' cmd/ examples/ internal/ 2>/dev/null; then
+    echo "FAIL: call sites above use the deprecated largewindow.Simulate — use SimulateContext"
+    exit 1
+fi
+
+echo "== campaign resume smoke (race-enabled engine + zero recomputation) =="
+# fig4 on a benchmark subset at -parallel 4 under -race, persisted to a
+# fresh cache; the re-run with -resume must execute ZERO cells and render
+# byte-identical tables.
+campdir="$(mktemp -d)"
+go run -race ./cmd/experiments -run fig4 -bench gzip,art,treeadd -scale test \
+    -instr 50000 -parallel 4 -cache-dir "$campdir/cache" -progress=false \
+    >"$campdir/first.out" 2>"$campdir/first.err"
+go run ./cmd/experiments -run fig4 -bench gzip,art,treeadd -scale test \
+    -instr 50000 -parallel 4 -cache-dir "$campdir/cache" -resume -progress=false \
+    >"$campdir/second.out" 2>"$campdir/second.err"
+if ! grep -q ' 0 executed' "$campdir/second.err"; then
+    echo "FAIL: resumed campaign recomputed cells:"
+    cat "$campdir/second.err"
+    rm -rf "$campdir"
+    exit 1
+fi
+if ! diff -u "$campdir/first.out" "$campdir/second.out"; then
+    echo "FAIL: resumed campaign rendered different tables"
+    rm -rf "$campdir"
+    exit 1
+fi
+rm -rf "$campdir"
+echo "  resume: 0 cells recomputed, tables identical"
+
 echo "== telemetry smoke =="
 # End-to-end: a sampled WIB run must produce artifacts that wibtrace
 # validates (JSONL series, Chrome trace, Kanata stream).
