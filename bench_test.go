@@ -8,11 +8,15 @@ package largewindow
 // machine, exactly the numbers the paper's figures plot.
 
 import (
+	"context"
+	"errors"
 	"io"
 	"os"
 	"strconv"
 	"testing"
+	"time"
 
+	"largewindow/internal/emu"
 	"largewindow/internal/harness"
 	"largewindow/internal/stats"
 	"largewindow/internal/workload"
@@ -52,9 +56,10 @@ func runExperiment(b *testing.B, id string) {
 	}
 }
 
-// suiteMetrics runs new/old configs over all kernels and reports the
-// suite-average speedups as metrics.
-func reportSuiteSpeedups(b *testing.B, s *harness.Session, newCfg, oldCfg Config) {
+// reportSuiteSpeedups runs new/old configs over all kernels, reports the
+// suite-average speedups as metrics, and returns the total committed
+// instructions so callers can also report wall-clock throughput.
+func reportSuiteSpeedups(b *testing.B, s *harness.Session, newCfg, oldCfg Config) uint64 {
 	b.Helper()
 	news, err := s.RunAll(newCfg)
 	if err != nil {
@@ -65,13 +70,16 @@ func reportSuiteSpeedups(b *testing.B, s *harness.Session, newCfg, oldCfg Config
 		b.Fatal(err)
 	}
 	per := map[workload.Suite][]float64{}
+	var committed uint64
 	for name, n := range news {
 		o := olds[name]
 		per[n.Suite] = append(per[n.Suite], stats.Speedup(n.IPC, o.IPC))
+		committed += n.Stats.Committed + o.Stats.Committed
 	}
 	b.ReportMetric(stats.ArithMean(per[workload.SuiteInt]), "int-speedup")
 	b.ReportMetric(stats.ArithMean(per[workload.SuiteFP]), "fp-speedup")
 	b.ReportMetric(stats.ArithMean(per[workload.SuiteOlden]), "olden-speedup")
+	return committed
 }
 
 // BenchmarkFig1 regenerates the Figure 1 limit study (window sizes 32-4K).
@@ -83,37 +91,45 @@ func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
 // BenchmarkFig4 regenerates Figure 4 and reports the WIB's suite-average
 // speedups — the paper's headline 20%/84%/50% series.
 func BenchmarkFig4(b *testing.B) {
+	var committed uint64
 	for i := 0; i < b.N; i++ {
 		s := benchSession()
-		reportSuiteSpeedups(b, s, WIBConfig(), BaseConfig())
+		committed += reportSuiteSpeedups(b, s, WIBConfig(), BaseConfig())
 	}
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "instrs/s")
 }
 
 // BenchmarkFig4Conventional reports the 2K-IQ/2K series of Figure 4 (the
 // paper's 35%/140%/103%).
 func BenchmarkFig4Conventional(b *testing.B) {
+	var committed uint64
 	for i := 0; i < b.N; i++ {
 		s := benchSession()
-		reportSuiteSpeedups(b, s, ScaledConfig(2048, 2048), BaseConfig())
+		committed += reportSuiteSpeedups(b, s, ScaledConfig(2048, 2048), BaseConfig())
 	}
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "instrs/s")
 }
 
 // BenchmarkFig5 regenerates Figure 5 (limited bit-vectors) and reports
 // the 16-bit-vector series.
 func BenchmarkFig5(b *testing.B) {
+	var committed uint64
 	for i := 0; i < b.N; i++ {
 		s := benchSession()
-		reportSuiteSpeedups(b, s, WIBConfigSized(2048, 16), BaseConfig())
+		committed += reportSuiteSpeedups(b, s, WIBConfigSized(2048, 16), BaseConfig())
 	}
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "instrs/s")
 }
 
 // BenchmarkFig6 regenerates Figure 6 (WIB capacity) and reports the
 // 256-entry series.
 func BenchmarkFig6(b *testing.B) {
+	var committed uint64
 	for i := 0; i < b.N; i++ {
 		s := benchSession()
-		reportSuiteSpeedups(b, s, WIBConfigSized(256, 64), BaseConfig())
+		committed += reportSuiteSpeedups(b, s, WIBConfigSized(256, 64), BaseConfig())
 	}
+	b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "instrs/s")
 }
 
 // BenchmarkPolicy regenerates the §4.4 selection-policy study.
@@ -154,4 +170,69 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			b.ReportMetric(float64(committed)/b.Elapsed().Seconds(), "instrs/s")
 		})
 	}
+}
+
+// BenchmarkEmulatorThroughput measures the functional emulator's
+// predecoded fast path (emulated instructions per wall second) — the
+// speed the checkpointed fast-forward runs at. A budget-bounded run that
+// does not halt is the normal case here.
+func BenchmarkEmulatorThroughput(b *testing.B) {
+	prog := Benchmark("gzip", ScaleRun)
+	b.ResetTimer()
+	var executed uint64
+	for i := 0; i < b.N; i++ {
+		m := emu.New(prog)
+		n, err := m.Run(1_000_000)
+		if err != nil && !errors.Is(err, emu.ErrNotHalted) {
+			b.Fatal(err)
+		}
+		executed += n
+	}
+	b.ReportMetric(float64(executed)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkCheckpointedCampaign measures the tentpole's win: a Fig.4-style
+// multi-config sweep over one benchmark, detailed-only (every config
+// executes skip+measure instructions in the timing core) versus
+// checkpointed (one shared functional pass covers the skip, each config
+// times only the measured region). The "ckpt-speedup" metric is the
+// wall-clock ratio; scripts/check.sh gates it at >= 3x.
+func BenchmarkCheckpointedCampaign(b *testing.B) {
+	const (
+		skip    = 200_000
+		measure = 50_000
+	)
+	configs := []Config{BaseConfig(), WIBConfig(), WIBConfigSized(2048, 16), ScaledConfig(2048, 2048)}
+	prog := func() *Program { return Benchmark("gzip", ScaleRun) }
+
+	var detailed, checkpointed time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		for _, cfg := range configs {
+			if _, err := Simulate(cfg, prog(), skip+measure); err != nil {
+				b.Fatal(err)
+			}
+		}
+		detailed += time.Since(start)
+
+		start = time.Now()
+		cp, err := FastForward(prog(), skip) // one functional pass, shared
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range configs {
+			res, err := SimulateContext(context.Background(), cfg, prog(),
+				WithCheckpoint(cp), WithMeasure(measure))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Stats.Skipped != skip {
+				b.Fatalf("Skipped = %d, want %d", res.Stats.Skipped, skip)
+			}
+		}
+		checkpointed += time.Since(start)
+	}
+	b.ReportMetric(detailed.Seconds()/checkpointed.Seconds(), "ckpt-speedup")
+	b.ReportMetric(checkpointed.Seconds()/float64(b.N), "ckpt-s/sweep")
 }

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-run fig1,table2,fig4,fig5,fig6,policy,fig7,sens|all]
-//	            [-instr N] [-bench a,b,c] [-scale test|run|full] [-v]
+//	            [-instr N] [-skip N] [-bench a,b,c] [-scale test|run|full] [-v]
 //	            [-parallel N] [-cache-dir dir] [-resume]
 //	            [-deadline 2m] [-crash-dump dir]
 //	            [-telemetry-dir dir] [-sample-interval N] [-pprof cpu.prof]
@@ -47,6 +47,7 @@ func main() {
 		runIDs  = flag.String("run", "all", "comma-separated experiment ids (see -list)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		instr   = flag.Uint64("instr", 300_000, "committed-instruction budget per run")
+		skip    = flag.Uint64("skip", 0, "fast-forward N instructions functionally before each measured region (checkpoints shared across configs)")
 		bench   = flag.String("bench", "", "comma-separated benchmark subset (default all 18)")
 		scale   = flag.String("scale", "run", "kernel scale: test, run, or full")
 		par     = flag.Int("parallel", 0, "concurrent simulations (default GOMAXPROCS)")
@@ -82,6 +83,7 @@ func main() {
 	}
 	opt := harness.Options{
 		MaxInstr:       *instr,
+		SkipInstr:      *skip,
 		Scale:          sc,
 		Parallel:       *par,
 		RunDeadline:    *deadline,

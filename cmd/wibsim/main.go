@@ -5,6 +5,7 @@
 // Usage:
 //
 //	wibsim -bench art [-config base|wib|iq2k|wib256] [-instr N]
+//	       [-skip N] [-measure N]
 //	       [-wib-entries N] [-bitvectors N] [-policy banked|program-order|rr-load|oldest-load]
 //	       [-mem-latency N] [-dump] [-deadline 30s] [-crash-dump crash.json]
 //	       [-watchdog N] [-lockstep]
@@ -29,8 +30,10 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"time"
 
 	"largewindow/internal/core"
+	"largewindow/internal/emu"
 	"largewindow/internal/telemetry"
 	"largewindow/internal/workload"
 )
@@ -41,6 +44,8 @@ func main() {
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 		config  = flag.String("config", "base", "base, wib, iq2k, or custom")
 		instr   = flag.Uint64("instr", 1_000_000, "committed-instruction budget (0 = to completion)")
+		skip    = flag.Uint64("skip", 0, "fast-forward N instructions functionally before detailed simulation")
+		measure = flag.Uint64("measure", 0, "measured-region instruction budget (alias of -instr for skip/measure windows)")
 		cycles  = flag.Int64("cycles", 200_000_000, "cycle budget")
 		scale   = flag.String("scale", "run", "kernel scale: test, run, full")
 		entries = flag.Int("wib-entries", 2048, "WIB/active-list entries (config=custom)")
@@ -124,11 +129,30 @@ func main() {
 	cfg.LockstepOracle = *lockstep
 	cfg.NoFastForward = *noFF
 
+	budget := *instr
+	if *measure > 0 {
+		budget = *measure
+	}
+
 	prog := spec.Build(sc)
 	p, err := core.New(cfg, prog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	var ffTime time.Duration
+	if *skip > 0 {
+		ffStart := time.Now()
+		cp, err := emu.BuildCheckpoint(prog, *skip)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ffTime = time.Since(ffStart)
+		if err := p.RestoreCheckpoint(cp); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	var col *telemetry.Collector
@@ -161,7 +185,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *deadline)
 		defer cancel()
 	}
-	st, err := p.RunContext(ctx, *instr, *cycles)
+	st, err := p.RunContext(ctx, budget, *cycles)
 	if col != nil {
 		if cerr := col.Close(st.Cycles); cerr != nil {
 			fmt.Fprintf(os.Stderr, "writing telemetry: %v\n", cerr)
@@ -185,6 +209,9 @@ func main() {
 	h := p.Hierarchy()
 	fmt.Printf("benchmark         %s (%s, %d static instrs)\n", spec.Name, spec.Suite, len(prog.Code))
 	fmt.Printf("configuration     %s\n", cfg.Name)
+	if st.Skipped > 0 {
+		fmt.Printf("functional skip   %d instructions fast-forwarded in %s\n", st.Skipped, ffTime.Round(time.Microsecond))
+	}
 	fmt.Printf("cycles            %d\n", st.Cycles)
 	fmt.Printf("committed         %d\n", st.Committed)
 	fmt.Printf("IPC               %.4f\n", st.IPC)

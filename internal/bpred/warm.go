@@ -1,0 +1,21 @@
+package bpred
+
+// WarmBranch trains the predictor with one architectural branch outcome
+// from a functional fast-forward pass, as if the branch had been
+// predicted and committed: conditional branches update the direction
+// tables and shift the global history; taken transfers that would train
+// the BTB at commit (everything but indirect jumps) insert their target.
+// Nothing is counted — Predicts and the BTB lookup counters must reflect
+// only the measured region. The RAS is not warmed: call-depth at a
+// checkpoint is unknown from the bounded branch ring alone, and the RAS
+// repairs itself within a few calls of resuming.
+func (p *Predictor) WarmBranch(pc, target uint64, taken, cond, btb bool) {
+	if cond {
+		_, bim, glob := p.comb.Lookup(pc, p.ghr)
+		p.comb.Update(pc, p.ghr, taken, bim, glob)
+		p.ghr = (p.ghr<<1 | b2u32(taken)) & p.ghrMask
+	}
+	if btb && taken {
+		p.btb.Insert(pc, target)
+	}
+}

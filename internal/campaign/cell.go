@@ -33,6 +33,11 @@ type Cell struct {
 	Scale     workload.Scale
 	MaxInstr  uint64
 	MaxCycles int64
+	// SkipInstr is the functional fast-forward window preceding the
+	// measured region (0 = fully detailed run). It is part of the cell
+	// identity: the same benchmark measured after a different skip is a
+	// different experiment.
+	SkipInstr uint64
 }
 
 // cellKey is the canonical form hashed into a cell ID. Config marshals
@@ -46,6 +51,7 @@ type cellKey struct {
 	Scale     string      `json:"scale"`
 	MaxInstr  uint64      `json:"max_instr"`
 	MaxCycles int64       `json:"max_cycles"`
+	SkipInstr uint64      `json:"skip_instr,omitempty"`
 }
 
 // idHexLen is the truncated hex length of a cell ID: 16 bytes of SHA-256,
@@ -60,6 +66,7 @@ func (c Cell) ID() string {
 		Scale:     c.Scale.String(),
 		MaxInstr:  c.MaxInstr,
 		MaxCycles: c.MaxCycles,
+		SkipInstr: c.SkipInstr,
 	})
 	if err != nil {
 		// Config is a plain data struct; this cannot fail on real inputs.

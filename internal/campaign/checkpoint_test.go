@@ -1,0 +1,189 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"largewindow/internal/emu"
+	"largewindow/internal/workload"
+)
+
+func buildTestCheckpoint(t *testing.T) func() (*emu.Checkpoint, error) {
+	t.Helper()
+	specs := workload.All()
+	return func() (*emu.Checkpoint, error) {
+		return emu.BuildCheckpoint(specs[0].Build(workload.ScaleTest), 500)
+	}
+}
+
+func testKey() CheckpointKey {
+	return CheckpointKey{Bench: workload.All()[0].Name, Scale: workload.ScaleTest, Skip: 500}
+}
+
+func TestCheckpointKeyID(t *testing.T) {
+	k := testKey()
+	if k.ID() != k.ID() {
+		t.Error("key ID is not stable")
+	}
+	if len(k.ID()) != idHexLen {
+		t.Errorf("key ID length = %d, want %d", len(k.ID()), idHexLen)
+	}
+	// Every key component must discriminate.
+	variants := []CheckpointKey{
+		{Bench: "other", Scale: k.Scale, Skip: k.Skip},
+		{Bench: k.Bench, Scale: workload.ScaleRun, Skip: k.Skip},
+		{Bench: k.Bench, Scale: k.Scale, Skip: k.Skip + 1},
+	}
+	for _, v := range variants {
+		if v.ID() == k.ID() {
+			t.Errorf("key %s collides with %s", v, k)
+		}
+	}
+}
+
+// TestCheckpointsSingleFlight: N concurrent Gets for one key run exactly
+// one functional build; everyone else blocks on the same slot and counts
+// as a reuse.
+func TestCheckpointsSingleFlight(t *testing.T) {
+	c, err := NewCheckpoints("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var builds atomic.Uint64
+	inner := buildTestCheckpoint(t)
+	build := func() (*emu.Checkpoint, error) {
+		builds.Add(1)
+		return inner()
+	}
+	const n = 16
+	var wg sync.WaitGroup
+	cps := make([]*emu.Checkpoint, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cp, err := c.Get(testKey(), build)
+			if err != nil {
+				t.Error(err)
+			}
+			cps[i] = cp
+		}(i)
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Errorf("functional builds = %d, want 1 (single-flight)", builds.Load())
+	}
+	for i := 1; i < n; i++ {
+		if cps[i] != cps[0] {
+			t.Error("concurrent Gets returned different checkpoint instances")
+		}
+	}
+	built, reused := c.Counts()
+	if built != 1 || reused != n-1 {
+		t.Errorf("counts = (%d built, %d reused), want (1, %d)", built, reused, n-1)
+	}
+}
+
+// TestCheckpointsPersistence: a second manager over the same directory
+// serves the checkpoint from disk — zero functional re-executions — and
+// the restored checkpoint is byte-equivalent to the built one.
+func TestCheckpointsPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCheckpoints(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp1, err := c1.Get(testKey(), buildTestCheckpoint(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(c1.Path(testKey().ID())); err != nil {
+		t.Fatalf("checkpoint not persisted: %v", err)
+	}
+
+	c2, err := NewCheckpoints(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := c2.Get(testKey(), func() (*emu.Checkpoint, error) {
+		t.Error("second manager rebuilt a persisted checkpoint")
+		return buildTestCheckpoint(t)()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, reused := c2.Counts()
+	if built != 0 || reused != 1 {
+		t.Errorf("second manager counts = (%d, %d), want (0, 1)", built, reused)
+	}
+	d1, _ := cp1.MarshalJSON()
+	d2, _ := cp2.MarshalJSON()
+	if !bytes.Equal(d1, d2) {
+		t.Error("disk round trip changed the checkpoint")
+	}
+}
+
+// TestCheckpointsCorruptEntryRebuilds: a truncated disk entry is detected,
+// logged, rebuilt, and overwritten with a good one.
+func TestCheckpointsCorruptEntryRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	id := testKey().ID()
+	if err := os.WriteFile(filepath.Join(dir, id+".json"), []byte("{\"schema_version\":1,"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	c, err := NewCheckpoints(dir, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(testKey(), buildTestCheckpoint(t)); err != nil {
+		t.Fatal(err)
+	}
+	built, _ := c.Counts()
+	if built != 1 {
+		t.Errorf("corrupt entry not rebuilt: built = %d", built)
+	}
+	if !bytes.Contains(log.Bytes(), []byte("unusable")) {
+		t.Errorf("corruption not logged: %q", log.String())
+	}
+	// The overwritten entry now loads cleanly.
+	c2, err := NewCheckpoints(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Get(testKey(), func() (*emu.Checkpoint, error) {
+		t.Error("rebuilt entry did not persist")
+		return buildTestCheckpoint(t)()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointsMemoryOnly: dir == "" never touches disk but still
+// single-flights within the process.
+func TestCheckpointsMemoryOnly(t *testing.T) {
+	c, err := NewCheckpoints("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Path("abc") != "" {
+		t.Error("memory-only cache reported a disk path")
+	}
+	if _, err := c.Get(testKey(), buildTestCheckpoint(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(testKey(), func() (*emu.Checkpoint, error) {
+		t.Error("in-memory slot missed")
+		return buildTestCheckpoint(t)()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	built, reused := c.Counts()
+	if built != 1 || reused != 1 {
+		t.Errorf("counts = (%d, %d), want (1, 1)", built, reused)
+	}
+}

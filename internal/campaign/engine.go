@@ -34,6 +34,11 @@ type Options struct {
 	IsTransient func(error) bool
 	// Log receives retry and cache-corruption lines (nil = quiet).
 	Log io.Writer
+	// Checkpoints, when non-nil, is the campaign's shared functional-
+	// checkpoint cache. The engine itself never builds checkpoints (the
+	// executor does, through Checkpoints.Get); attaching it here surfaces
+	// built/reused counts in Snapshot, Summary, and the progress line.
+	Checkpoints *Checkpoints
 }
 
 // cellState is the single-flight slot for one cell: exactly one
@@ -311,11 +316,17 @@ type Snapshot struct {
 	Retries   uint64
 	Instrs    uint64
 	Elapsed   time.Duration
+
+	// Checkpoint-cache activity (zero-valued unless Options.Checkpoints
+	// was attached).
+	HasCheckpoints bool
+	CkptBuilt      uint64 // functional fast-forward passes executed
+	CkptReused     uint64 // checkpoint requests served from cache
 }
 
 // Snapshot reads the engine's progress counters.
 func (e *Engine) Snapshot() Snapshot {
-	return Snapshot{
+	s := Snapshot{
 		Total:     e.total.Load(),
 		Done:      e.completed.Load(),
 		Executed:  e.executed.Load(),
@@ -325,12 +336,22 @@ func (e *Engine) Snapshot() Snapshot {
 		Instrs:    e.instrs.Load(),
 		Elapsed:   time.Since(e.start),
 	}
+	if e.opt.Checkpoints != nil {
+		s.HasCheckpoints = true
+		s.CkptBuilt, s.CkptReused = e.opt.Checkpoints.Counts()
+	}
+	return s
 }
 
 // Summary renders a one-line campaign outcome for the CLI: the resume
 // gate greps the "N executed" figure to prove a warm cache recomputes
-// nothing.
+// nothing, and the checkpoint gate greps "N built / M reused" to prove
+// one functional pass served every configuration.
 func (s Snapshot) Summary() string {
-	return fmt.Sprintf("campaign: %d cells — %d executed, %d cached, %d failed in %s",
+	out := fmt.Sprintf("campaign: %d cells — %d executed, %d cached, %d failed in %s",
 		s.Done, s.Executed, s.CacheHits, s.Failed, s.Elapsed.Round(time.Millisecond))
+	if s.HasCheckpoints {
+		out += fmt.Sprintf(", checkpoints: %d built / %d reused", s.CkptBuilt, s.CkptReused)
+	}
+	return out
 }

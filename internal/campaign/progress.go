@@ -69,6 +69,9 @@ func (p *Progress) Line() string {
 	if s.Failed > 0 {
 		line += fmt.Sprintf(" (%d FAILED)", s.Failed)
 	}
+	if s.HasCheckpoints && s.CkptBuilt+s.CkptReused > 0 {
+		line += fmt.Sprintf(" · ckpt %d built/%d reused", s.CkptBuilt, s.CkptReused)
+	}
 	line += fmt.Sprintf(" · %s instrs/s", siFormat(rate))
 	if eta, ok := p.eta(s, total); ok {
 		line += " · ETA " + eta

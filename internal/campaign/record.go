@@ -23,6 +23,7 @@ type Record struct {
 	Scale     string `json:"scale"`
 	MaxInstr  uint64 `json:"max_instr"`
 	MaxCycles int64  `json:"max_cycles"`
+	SkipInstr uint64 `json:"skip_instr,omitempty"`
 
 	IPC     float64    `json:"ipc"`
 	Stats   core.Stats `json:"stats"`

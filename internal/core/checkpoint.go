@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+
+	"largewindow/internal/emu"
+	"largewindow/internal/isa"
+)
+
+// warmSink adapts the processor's cache hierarchy and branch predictor to
+// the emulator's warm-replay interface. All touches go through the
+// stat-free warm APIs, so the measured region's counters start at zero.
+type warmSink struct{ p *Processor }
+
+func (w warmSink) WarmFetch(line uint64) { w.p.hier.WarmFetch(line) }
+func (w warmSink) WarmLoad(addr uint64)  { w.p.hier.WarmLoad(addr) }
+func (w warmSink) WarmStore(addr uint64) { w.p.hier.WarmStore(addr) }
+func (w warmSink) WarmBranch(b emu.WarmBranch) {
+	w.p.bp.WarmBranch(b.PC, b.Target, b.Taken, b.Cond, b.BTB)
+}
+
+// RestoreCheckpoint starts the timing simulation from a functional
+// checkpoint: committed memory and the architectural register mappings
+// take the checkpointed values, fetch resumes at the checkpointed PC, the
+// stream hash continues the emulator's, and the checkpoint's warm log (if
+// any) is replayed into the caches, TLB, and branch predictor. All
+// statistics then cover the measured region only; Stats.Skipped records
+// how many instructions the functional pass executed.
+//
+// It must be called on a freshly constructed processor, before Run.
+func (p *Processor) RestoreCheckpoint(cp *emu.Checkpoint) error {
+	if p.now != 0 || p.stats.Committed != 0 || p.nextSeq != 1 {
+		return fmt.Errorf("core: RestoreCheckpoint on a processor that already ran (cycle %d, %d committed)",
+			p.now, p.stats.Committed)
+	}
+	if cp.Bench != "" && p.prog.Name != cp.Bench {
+		return fmt.Errorf("core: checkpoint for %q restored onto program %q", cp.Bench, p.prog.Name)
+	}
+	if !cp.Halted && cp.PC >= uint64(len(p.prog.Code)) {
+		return fmt.Errorf("core: checkpoint pc %d outside code segment (len %d)", cp.PC, len(p.prog.Code))
+	}
+
+	p.memory = cp.Mem.Clone()
+	// On a fresh processor architectural register a maps to physical a in
+	// both the rename and retirement maps; install the checkpointed values
+	// through the map anyway so the invariant lives in one place.
+	for a := 0; a < isa.NumRegs; a++ {
+		v := cp.IntReg[a]
+		if a == int(isa.Zero) {
+			v = 0
+		}
+		p.intPR[p.intMap[a]].value = v
+		p.fpPR[p.fpMap[a]].value = cp.FPReg[a]
+	}
+	p.fetchPC = cp.PC
+	p.stats.StreamHash = cp.StreamHash
+	p.stats.Skipped = cp.InstrCount
+	if cp.Halted {
+		// The program halted during warmup: the measured window is empty
+		// and Run returns immediately with zero committed instructions.
+		p.halted = true
+		p.fetchHalted = true
+	}
+	if p.oracle != nil {
+		m, err := emu.Restore(p.prog, cp)
+		if err != nil {
+			return fmt.Errorf("core: restoring lockstep oracle: %w", err)
+		}
+		p.oracle = m
+	}
+	cp.Warm.Replay(warmSink{p})
+	return nil
+}

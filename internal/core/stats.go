@@ -10,6 +10,11 @@ type Stats struct {
 	Committed uint64
 	IPC       float64
 
+	// Skipped counts instructions fast-forwarded functionally before the
+	// measured region began (RestoreCheckpoint); Committed and every other
+	// counter cover the measured region only.
+	Skipped uint64
+
 	// StreamHash is the hash of the committed PC stream; it must match the
 	// functional emulator's for the same program (golden-model property).
 	StreamHash uint64

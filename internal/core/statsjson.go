@@ -13,6 +13,7 @@ type statsWire struct {
 	Cycles     int64   `json:"cycles"`
 	Committed  uint64  `json:"committed"`
 	IPC        float64 `json:"ipc"`
+	Skipped    uint64  `json:"skipped,omitempty"`
 	StreamHash uint64  `json:"stream_hash"`
 
 	CondBranches uint64 `json:"cond_branches"`
@@ -53,6 +54,7 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		Cycles:           s.Cycles,
 		Committed:        s.Committed,
 		IPC:              s.IPC,
+		Skipped:          s.Skipped,
 		StreamHash:       s.StreamHash,
 		CondBranches:     s.CondBranches,
 		CondCorrect:      s.CondCorrect,
@@ -92,6 +94,7 @@ func (s *Stats) UnmarshalJSON(data []byte) error {
 		Cycles:           w.Cycles,
 		Committed:        w.Committed,
 		IPC:              w.IPC,
+		Skipped:          w.Skipped,
 		StreamHash:       w.StreamHash,
 		CondBranches:     w.CondBranches,
 		CondCorrect:      w.CondCorrect,

@@ -16,6 +16,7 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 		Cycles:           123456,
 		Committed:        300000,
 		IPC:              2.43,
+		Skipped:          240000,
 		StreamHash:       0xdeadbeefcafe,
 		CondBranches:     1000,
 		CondCorrect:      950,

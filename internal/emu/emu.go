@@ -105,17 +105,19 @@ func (m *Machine) Step() error {
 // Run executes until Halt or until maxInstr instructions have executed.
 // It returns the number of instructions executed. If the budget expires
 // first, the error is ErrNotHalted (wrapped errors.Is-compatible).
+//
+// Run executes on the predecoded fast path (see predecode.go); it is
+// architecturally identical to a Step loop, which tests enforce.
 func (m *Machine) Run(maxInstr uint64) (uint64, error) {
-	start := m.InstrCount
-	for !m.Halted && m.InstrCount-start < maxInstr {
-		if err := m.Step(); err != nil {
-			return m.InstrCount - start, err
-		}
-	}
-	if !m.Halted {
-		return m.InstrCount - start, ErrNotHalted
-	}
-	return m.InstrCount - start, nil
+	return m.run(maxInstr, nil)
+}
+
+// RunWarm is Run with warm-state capture: the executed access stream
+// (instruction-fetch lines, data addresses, branch outcomes) is recorded
+// into the warm log's bounded rings, for replay into a timing core's
+// caches, TLB, and branch predictor when a checkpoint is restored.
+func (m *Machine) RunWarm(maxInstr uint64, warm *WarmLog) (uint64, error) {
+	return m.run(maxInstr, warm)
 }
 
 func (m *Machine) readSrc(r isa.RegRef) uint64 {

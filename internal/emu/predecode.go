@@ -1,0 +1,177 @@
+package emu
+
+import (
+	"fmt"
+	"sync"
+
+	"largewindow/internal/isa"
+)
+
+// decoded is the predecoded form of one static instruction: everything
+// Step re-derives per dynamic execution (functional-unit class, operand
+// register references, the direct branch target) is resolved once per
+// static instruction instead. A program's decode table is immutable and
+// shared by every Machine running it.
+type decoded struct {
+	op     isa.Op
+	class  isa.Class
+	src1   isa.RegRef
+	src2   isa.RegRef
+	dest   isa.RegRef
+	target uint64 // absolute taken target for Branch/J/Jal (pc+1+imm)
+}
+
+// predecodeCache maps *isa.Program → []decoded. Programs are immutable
+// after building, so the table is computed once per program identity and
+// shared across machines (and across the campaign's warmup passes).
+var predecodeCache sync.Map
+
+// predecode returns the program's decode table, building it on first use.
+func predecode(p *isa.Program) []decoded {
+	if t, ok := predecodeCache.Load(p); ok {
+		return t.([]decoded)
+	}
+	t := make([]decoded, len(p.Code))
+	for pc, in := range p.Code {
+		d := &t[pc]
+		d.op = in.Op
+		d.class = in.Op.Class()
+		d.src1 = in.Src1()
+		d.src2 = in.Src2()
+		d.dest = in.Dest()
+		switch d.class {
+		case isa.ClassBranch:
+			d.target = in.Target(uint64(pc))
+		case isa.ClassJump:
+			if in.Op != isa.OpJr {
+				d.target = in.Target(uint64(pc))
+			}
+		}
+	}
+	actual, _ := predecodeCache.LoadOrStore(p, t)
+	return actual.([]decoded)
+}
+
+// run is the predecoded hot loop behind Run: identical architectural
+// semantics to a Step loop (the equivalence is property-tested), but with
+// the per-step class/operand re-derivation and the ClassMix map increment
+// hoisted out. Hot state (PC, stream hash, class counts) lives in locals
+// and is flushed back to the Machine on every exit path.
+//
+// When warm is non-nil the loop also records the access stream —
+// instruction-fetch lines, data addresses, and branch outcomes — into the
+// warm log's bounded rings for cache/TLB/predictor warming at restore.
+func (m *Machine) run(maxInstr uint64, warm *WarmLog) (uint64, error) {
+	dec := predecode(m.Prog)
+	code := m.Prog.Code
+	var classCnt [isa.NumClasses]uint64
+	pc := m.PC
+	hash := m.StreamHash
+	takenCond, condCount := m.TakenCond, m.CondCount
+	var count uint64
+	lastFetchLine := ^uint64(0)
+
+	flush := func() {
+		m.PC = pc
+		m.StreamHash = hash
+		m.TakenCond, m.CondCount = takenCond, condCount
+		m.InstrCount += count
+		for c, n := range classCnt {
+			if n > 0 {
+				m.ClassMix[isa.Class(c)] += n
+			}
+		}
+	}
+
+	for !m.Halted && count < maxInstr {
+		if pc >= uint64(len(dec)) {
+			flush()
+			return count, fmt.Errorf("emu: pc %d outside code segment (len %d)", pc, len(dec))
+		}
+		d := &dec[pc]
+		count++
+		classCnt[d.class]++
+		hash = mixHash(hash, pc)
+		if warm != nil {
+			if line := (pc * 8) &^ 63; line != lastFetchLine {
+				warm.fetch.push(line)
+				lastFetchLine = line
+			}
+		}
+
+		var rs1, rs2 uint64
+		if r := d.src1; r.Valid {
+			if r.FP {
+				rs1 = m.FPReg[r.N]
+			} else if r.N != isa.Zero {
+				rs1 = m.IntReg[r.N]
+			}
+		}
+		if r := d.src2; r.Valid {
+			if r.FP {
+				rs2 = m.FPReg[r.N]
+			} else if r.N != isa.Zero {
+				rs2 = m.IntReg[r.N]
+			}
+		}
+		next := pc + 1
+
+		switch d.class {
+		case isa.ClassLoad:
+			addr := isa.EffAddr(code[pc], rs1)
+			m.writeDest(d.dest, m.Mem.ReadWord(addr))
+			if warm != nil {
+				warm.mem.push(addr << 1)
+			}
+		case isa.ClassStore:
+			addr := isa.EffAddr(code[pc], rs1)
+			m.Mem.WriteWord(addr, rs2)
+			if warm != nil {
+				warm.mem.push(addr<<1 | 1)
+			}
+		case isa.ClassBranch:
+			condCount++
+			taken := isa.BranchTaken(code[pc], rs1, rs2)
+			if taken {
+				takenCond++
+				next = d.target
+			}
+			if warm != nil {
+				warm.branch.push(WarmBranch{PC: pc, Target: d.target, Taken: taken, Cond: true, BTB: taken})
+			}
+		case isa.ClassJump:
+			switch d.op {
+			case isa.OpJr:
+				next = rs1
+				if warm != nil {
+					warm.branch.push(WarmBranch{PC: pc, Target: rs1, Taken: true})
+				}
+			case isa.OpJal:
+				m.writeDest(d.dest, isa.Eval(code[pc], rs1, rs2, pc))
+				next = d.target
+				if warm != nil {
+					warm.branch.push(WarmBranch{PC: pc, Target: d.target, Taken: true, BTB: true})
+				}
+			default: // OpJ
+				next = d.target
+				if warm != nil {
+					warm.branch.push(WarmBranch{PC: pc, Target: d.target, Taken: true, BTB: true})
+				}
+			}
+		case isa.ClassHalt:
+			m.Halted = true
+			flush()
+			return count, nil
+		case isa.ClassNop:
+			// nothing
+		default:
+			m.writeDest(d.dest, isa.Eval(code[pc], rs1, rs2, pc))
+		}
+		pc = next
+	}
+	flush()
+	if !m.Halted {
+		return count, ErrNotHalted
+	}
+	return count, nil
+}

@@ -25,6 +25,8 @@ import (
 
 	"largewindow/internal/campaign"
 	"largewindow/internal/core"
+	"largewindow/internal/emu"
+	"largewindow/internal/isa"
 	"largewindow/internal/stats"
 	"largewindow/internal/telemetry"
 	"largewindow/internal/workload"
@@ -70,6 +72,14 @@ type Options struct {
 	// of re-executing them. Without Resume the store is write-only and a
 	// fresh campaign overwrites old records.
 	Resume bool
+	// SkipInstr fast-forwards each benchmark's first n instructions on the
+	// functional emulator before detailed simulation (0 = fully detailed
+	// runs, today's behavior). Checkpoints are content-addressed by
+	// (benchmark, scale, skip) only — configuration-independent — so one
+	// functional pass is shared by every config cell, single-flighted
+	// through the session's checkpoint cache and persisted under
+	// CacheDir/ckpt when a cache directory is configured.
+	SkipInstr uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -119,6 +129,7 @@ type Session struct {
 	opt   Options
 	eng   *campaign.Engine
 	store *campaign.Store
+	ckpts *campaign.Checkpoints // nil when SkipInstr == 0
 
 	mu       sync.Mutex
 	view     map[string]*viewCell
@@ -147,15 +158,36 @@ func NewSession(opt Options) *Session {
 			s.store = store
 		}
 	}
+	if opt.SkipInstr > 0 {
+		ckptDir := ""
+		if s.store != nil {
+			ckptDir = filepath.Join(opt.CacheDir, "ckpt")
+		}
+		ckpts, err := campaign.NewCheckpoints(ckptDir, opt.Log)
+		if err != nil {
+			// Degrade to a memory-only checkpoint cache; the campaign still
+			// shares one functional pass per (bench, scale, skip) in-process.
+			if opt.Log != nil {
+				fmt.Fprintf(opt.Log, "  checkpoint persistence disabled: %v\n", err)
+			}
+			ckpts, _ = campaign.NewCheckpoints("", opt.Log)
+		}
+		s.ckpts = ckpts
+	}
 	s.eng = campaign.NewEngine(s.execCell, campaign.Options{
 		Workers:     opt.Parallel,
 		Store:       s.store,
 		Resume:      opt.Resume,
 		IsTransient: transient,
 		Log:         opt.Log,
+		Checkpoints: s.ckpts,
 	})
 	return s
 }
+
+// Checkpoints exposes the session's shared checkpoint cache (nil when
+// SkipInstr is 0).
+func (s *Session) Checkpoints() *campaign.Checkpoints { return s.ckpts }
 
 // Campaign exposes the session's engine (progress counters, priming).
 func (s *Session) Campaign() *campaign.Engine { return s.eng }
@@ -177,6 +209,7 @@ func (s *Session) cell(cfg core.Config, bench string) campaign.Cell {
 		Scale:     s.opt.Scale,
 		MaxInstr:  s.opt.MaxInstr,
 		MaxCycles: s.opt.MaxCycles,
+		SkipInstr: s.opt.SkipInstr,
 	}
 }
 
@@ -267,6 +300,15 @@ func (s *Session) execCell(cell campaign.Cell) (*campaign.Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cell.SkipInstr > 0 {
+		cp, err := s.checkpointFor(cell, prog)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.RestoreCheckpoint(cp); err != nil {
+			return nil, err
+		}
+	}
 	if s.opt.PreRun != nil {
 		s.opt.PreRun(p, cfg, spec)
 	}
@@ -302,6 +344,7 @@ func (s *Session) execCell(cell campaign.Cell) (*campaign.Record, error) {
 		Scale:     cell.Scale.String(),
 		MaxInstr:  cell.MaxInstr,
 		MaxCycles: cell.MaxCycles,
+		SkipInstr: cell.SkipInstr,
 		IPC:       st.IPC,
 		Stats:     *st,
 		DL1Miss:   h.L1DStats().MissRatio(),
@@ -313,6 +356,19 @@ func (s *Session) execCell(cell campaign.Cell) (*campaign.Record, error) {
 			spec.Name, cfg.Name, rec.IPC, rec.Stats.Cycles, rec.DL1Miss, rec.L2Local)
 	}
 	return rec, nil
+}
+
+// checkpointFor resolves (building at most once per key, campaign-wide)
+// the functional fast-forward checkpoint a cell starts from.
+func (s *Session) checkpointFor(cell campaign.Cell, prog *isa.Program) (*emu.Checkpoint, error) {
+	build := func() (*emu.Checkpoint, error) {
+		return emu.BuildCheckpoint(prog, cell.SkipInstr)
+	}
+	if s.ckpts == nil {
+		return build()
+	}
+	key := campaign.CheckpointKey{Bench: cell.Bench, Scale: cell.Scale, Skip: cell.SkipInstr}
+	return s.ckpts.Get(key, build)
 }
 
 // attachTelemetry wires a per-cell JSONL collector when TelemetryDir is

@@ -1,5 +1,10 @@
 package isa
 
+import (
+	"fmt"
+	"sort"
+)
+
 // Memory is the sparse architectural data memory: a 64-bit byte-addressed
 // space accessed in aligned 8-byte words, backed by 4KB pages allocated on
 // first touch. Unwritten locations read as zero. The same type backs the
@@ -96,6 +101,40 @@ func (m *Memory) Checksum() uint64 {
 		sum += pageSum
 	}
 	return sum
+}
+
+// PageList returns the indices of every touched page, sorted ascending,
+// so serializers (emu checkpoints) emit a canonical page order.
+func (m *Memory) PageList() []uint64 {
+	out := make([]uint64, 0, len(m.pages))
+	for p := range m.pages {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PageWords returns a copy of one page's words (nil for an untouched
+// page). The slice length is PageBytes/8.
+func (m *Memory) PageWords(page uint64) []uint64 {
+	pg, ok := m.pages[page]
+	if !ok {
+		return nil
+	}
+	out := make([]uint64, wordsPerPage)
+	copy(out, pg)
+	return out
+}
+
+// SetPage installs a full page of words at the given page index. words
+// must hold exactly PageBytes/8 entries; the page contents are copied.
+func (m *Memory) SetPage(page uint64, words []uint64) {
+	if len(words) != wordsPerPage {
+		panic(fmt.Sprintf("isa: SetPage with %d words (want %d)", len(words), wordsPerPage))
+	}
+	pg := make([]uint64, wordsPerPage)
+	copy(pg, words)
+	m.pages[page] = pg
 }
 
 // Stats reports the number of word reads and writes performed.

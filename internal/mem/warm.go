@@ -1,0 +1,91 @@
+package mem
+
+// Warm-touch API: functional cache/TLB warming driven by the emulator's
+// access stream during checkpointed fast-forward. Warm operations install
+// lines and update LRU exactly like demand accesses, but count nothing —
+// the measured region's statistics must reflect only measured-region
+// traffic — and carry no timing: there are no in-flight fills, so the
+// first demand access to a warmed line is a plain hit.
+
+// Warm touches addr without recording statistics: it updates LRU on a
+// hit (marking the line dirty on stores) and allocates on a miss,
+// reporting whether the touch hit. Warm-allocated lines from stores are
+// installed dirty, so measured-region evictions of warm dirty lines still
+// count as writebacks — matching a cache warmed by real execution.
+func (c *Cache) Warm(addr uint64, store bool) (hit bool) {
+	c.tick++
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.tick
+			if store {
+				ways[i].dirty = true
+			}
+			return true
+		}
+	}
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: store, lru: c.tick}
+	return false
+}
+
+// Warm installs the translation for addr without counting an access or a
+// miss.
+func (t *TLB) Warm(addr uint64) {
+	t.tick++
+	page := addr >> t.pageShift
+	set := page & t.setMask
+	ways := t.entries[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == page {
+			ways[i].lru = t.tick
+			return
+		}
+	}
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	ways[victim] = line{tag: page, valid: true, lru: t.tick}
+}
+
+// warmData warms the data path for one access: the D-TLB and the L1D,
+// touching the L2 only when the L1D warm-touch misses — the same
+// filtering a demand miss path applies.
+func (h *Hierarchy) warmData(addr uint64, store bool) {
+	if h.tlb != nil {
+		h.tlb.Warm(addr)
+	}
+	if !h.l1d.Warm(addr, store) {
+		h.l2.Warm(addr, false)
+	}
+}
+
+// WarmLoad warms the hierarchy for a functional load.
+func (h *Hierarchy) WarmLoad(addr uint64) { h.warmData(addr, false) }
+
+// WarmStore warms the hierarchy for a functional store.
+func (h *Hierarchy) WarmStore(addr uint64) { h.warmData(addr, true) }
+
+// WarmFetch warms the instruction path for the line containing addr.
+func (h *Hierarchy) WarmFetch(addr uint64) {
+	if !h.l1i.Warm(addr, false) {
+		h.l2.Warm(addr, false)
+	}
+}

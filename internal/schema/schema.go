@@ -25,6 +25,10 @@ const (
 	CrashDumpVersion = 1
 	// TelemetryVersion covers the JSONL sample-stream header line.
 	TelemetryVersion = 1
+	// CheckpointVersion covers emu functional-fast-forward checkpoints
+	// persisted in the campaign store (registers, memory image, warm
+	// rings).
+	CheckpointVersion = 1
 )
 
 // Header is the leading line of stream-shaped artifacts (telemetry JSONL)

@@ -17,6 +17,29 @@ func TestCheck(t *testing.T) {
 	}
 }
 
+func TestVersionsDeclared(t *testing.T) {
+	// Every persisted artifact kind carries its own version constant; a
+	// version accidentally zeroed (or removed) would silently accept
+	// anything.
+	versions := map[string]int{
+		"result":     ResultVersion,
+		"crash-dump": CrashDumpVersion,
+		"telemetry":  TelemetryVersion,
+		"checkpoint": CheckpointVersion,
+	}
+	for kind, v := range versions {
+		if v < 1 {
+			t.Errorf("%s schema version = %d, want >= 1", kind, v)
+		}
+	}
+	if err := Check(CheckpointVersion, CheckpointVersion, "emu checkpoint"); err != nil {
+		t.Errorf("current checkpoint version rejected: %v", err)
+	}
+	if err := Check(CheckpointVersion+1, CheckpointVersion, "emu checkpoint"); err == nil {
+		t.Error("future checkpoint version accepted")
+	}
+}
+
 func TestSniffHeader(t *testing.T) {
 	cases := []struct {
 		line string

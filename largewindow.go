@@ -136,12 +136,31 @@ type Result struct {
 // IPC returns committed instructions per cycle.
 func (r *Result) IPC() float64 { return r.Stats.IPC }
 
+// Checkpoint is a full restorable functional state: registers, the
+// complete memory image, PC/instruction count, and a warm log of the
+// recent access stream. Build one with FastForward (or emu.BuildCheckpoint)
+// and start timing simulations from it with WithCheckpoint.
+type Checkpoint = emu.Checkpoint
+
+// FastForward executes the first skip instructions of prog on the
+// functional emulator's predecoded fast path and returns a restorable
+// checkpoint carrying the architectural state plus cache/TLB/predictor
+// warm state. A program that halts within the skip window yields a halted
+// checkpoint (its measured window is empty). Checkpoints depend only on
+// (program, skip) — never on a processor configuration — so one
+// fast-forward pass serves every configuration measuring the same window.
+func FastForward(prog *Program, skip uint64) (*Checkpoint, error) {
+	return emu.BuildCheckpoint(prog, skip)
+}
+
 // simOptions collects the option-configurable knobs of SimulateContext.
 type simOptions struct {
 	maxInstr       uint64
 	maxCycles      int64
 	telemetryW     io.Writer
 	sampleInterval int64
+	skipInstr      uint64
+	checkpoint     *Checkpoint
 }
 
 // Option configures a SimulateContext run.
@@ -158,6 +177,31 @@ func WithMaxInstr(n uint64) Option {
 // means unbounded).
 func WithMaxCycles(n int64) Option {
 	return func(o *simOptions) { o.maxCycles = n }
+}
+
+// WithSkip fast-forwards the first n instructions functionally before the
+// timing simulation begins (SimpleScalar's -fastfwd; gem5's CPU switch).
+// The measured region's statistics exclude the skipped instructions,
+// which Stats.Skipped records. n = 0 (the default) is exactly today's
+// full detailed run. Ignored when WithCheckpoint supplies a prebuilt
+// checkpoint.
+func WithSkip(n uint64) Option {
+	return func(o *simOptions) { o.skipInstr = n }
+}
+
+// WithMeasure bounds the measured region to n committed instructions — an
+// alias of WithMaxInstr named for the skip/measure window idiom:
+//
+//	SimulateContext(ctx, cfg, prog, WithSkip(1_000_000), WithMeasure(100_000))
+func WithMeasure(n uint64) Option {
+	return func(o *simOptions) { o.maxInstr = n }
+}
+
+// WithCheckpoint starts the timing simulation from a prebuilt functional
+// checkpoint (see FastForward), skipping the fast-forward pass entirely.
+// The checkpoint must come from the same program.
+func WithCheckpoint(cp *Checkpoint) Option {
+	return func(o *simOptions) { o.checkpoint = cp }
 }
 
 // WithTelemetry attaches a cycle-sampled telemetry collector to the run
@@ -181,6 +225,17 @@ func SimulateContext(ctx context.Context, cfg Config, prog *Program, opts ...Opt
 	p, err := core.New(cfg, prog)
 	if err != nil {
 		return nil, err
+	}
+	cp := o.checkpoint
+	if cp == nil && o.skipInstr > 0 {
+		if cp, err = emu.BuildCheckpoint(prog, o.skipInstr); err != nil {
+			return nil, err
+		}
+	}
+	if cp != nil {
+		if err := p.RestoreCheckpoint(cp); err != nil {
+			return nil, err
+		}
 	}
 	var col *telemetry.Collector
 	if o.telemetryW != nil {

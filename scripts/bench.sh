@@ -1,28 +1,35 @@
 #!/bin/sh
-# Benchmark snapshot: runs the simulator-throughput benchmark (base and
-# WIB machines) plus the Figure 4 headline benches at a FIXED -benchtime,
-# and writes the parsed results — instrs/s and allocs/op per config — to
-# a JSON file (default BENCH_PR3.json, the checked-in reference that
+# Benchmark snapshot: runs the simulator- and emulator-throughput
+# benchmarks, the checkpointed-campaign speedup benchmark, and the
+# Figure 4 headline benches at a FIXED -benchtime, and writes the parsed
+# results — instrs/s, allocs/op, and checkpoint speedup per config — to a
+# JSON file (default BENCH_PR5.json, the checked-in reference that
 # scripts/check.sh gates against).
 #
 # Usage: scripts/bench.sh [out.json]
 #   BENCHTIME  -benchtime for the throughput benches (default 2s)
 #   FIG4TIME   -benchtime for the Fig4 suite benches  (default 1x)
+#   CKPTTIME   -benchtime for the checkpointed-campaign bench (default 1x)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR3.json}
+out=${1:-BENCH_PR5.json}
 benchtime=${BENCHTIME:-2s}
 fig4time=${FIG4TIME:-1x}
+ckpttime=${CKPTTIME:-1x}
 
 raw=$(mktemp)
 parsed=$(mktemp)
 trap 'rm -f "$raw" "$parsed"' EXIT
 
-echo "== bench: SimulatorThroughput (-benchtime $benchtime) =="
-go test -run '^$' -bench '^BenchmarkSimulatorThroughput$' \
+echo "== bench: SimulatorThroughput + EmulatorThroughput (-benchtime $benchtime) =="
+go test -run '^$' -bench '^Benchmark(Simulator|Emulator)Throughput$' \
     -benchtime "$benchtime" -benchmem -count 1 . | tee "$raw"
+
+echo "== bench: CheckpointedCampaign (-benchtime $ckpttime) =="
+go test -run '^$' -bench '^BenchmarkCheckpointedCampaign$' \
+    -benchtime "$ckpttime" -benchmem -count 1 . | tee -a "$raw"
 
 echo "== bench: Fig4 + Fig4Conventional (-benchtime $fig4time) =="
 go test -run '^$' -bench '^BenchmarkFig4(Conventional)?$' \
@@ -35,22 +42,24 @@ awk '
     name = $1
     sub(/-[0-9]+$/, "", name)      # strip the -GOMAXPROCS suffix
     sub(/^Benchmark/, "", name)
-    ips = "null"; allocs = "null"; nsop = "null"
+    ips = "null"; allocs = "null"; nsop = "null"; ckpt = "null"
     for (i = 3; i < NF; i += 2) {
-        if ($(i+1) == "instrs/s")  ips    = $i
-        if ($(i+1) == "allocs/op") allocs = $i
-        if ($(i+1) == "ns/op")     nsop   = $i
+        if ($(i+1) == "instrs/s")     ips    = $i
+        if ($(i+1) == "allocs/op")    allocs = $i
+        if ($(i+1) == "ns/op")        nsop   = $i
+        if ($(i+1) == "ckpt-speedup") ckpt   = $i
     }
-    printf "{\"bench\":\"%s\",\"instrs_per_sec\":%s,\"allocs_per_op\":%s,\"ns_per_op\":%s}\n", \
-        name, ips, allocs, nsop
+    printf "{\"bench\":\"%s\",\"instrs_per_sec\":%s,\"allocs_per_op\":%s,\"ns_per_op\":%s,\"ckpt_speedup\":%s}\n", \
+        name, ips, allocs, nsop, ckpt
 }
 ' "$raw" >"$parsed"
 
 jq -s \
     --arg benchtime "$benchtime" \
     --arg fig4time "$fig4time" \
+    --arg ckpttime "$ckpttime" \
     --arg go "$(go version)" \
-    '{benchtime: $benchtime, fig4time: $fig4time, go: $go, results: .}' \
+    '{benchtime: $benchtime, fig4time: $fig4time, ckpttime: $ckpttime, go: $go, results: .}' \
     "$parsed" >"$out"
 
 echo "bench: wrote $(jq '.results | length' "$out") results to $out"

@@ -60,6 +60,54 @@ fi
 rm -rf "$campdir"
 echo "  resume: 0 cells recomputed, tables identical"
 
+echo "== checkpointed fast-forward smoke (shared checkpoints + determinism) =="
+# A fig4 sweep (4 configs x 2 benchmarks) with a functional skip must
+# build exactly ONE checkpoint per benchmark and share it across every
+# config: "2 built / 6 reused". Two independent runs must persist
+# byte-identical record and checkpoint caches, and a re-run against a warm
+# checkpoint store (records wiped) must report ZERO functional
+# re-executions: "0 built / 8 reused".
+ckdir="$(mktemp -d)"
+go run ./cmd/experiments -run fig4 -bench gzip,art -scale test \
+    -instr 2000 -skip 2000 -parallel 4 -cache-dir "$ckdir/c1" -progress=false \
+    >"$ckdir/first.out" 2>"$ckdir/first.err"
+if ! grep -q 'checkpoints: 2 built / 6 reused' "$ckdir/first.err"; then
+    echo "FAIL: checkpoints not shared across configs:"
+    cat "$ckdir/first.err"
+    rm -rf "$ckdir"
+    exit 1
+fi
+go run ./cmd/experiments -run fig4 -bench gzip,art -scale test \
+    -instr 2000 -skip 2000 -parallel 4 -cache-dir "$ckdir/c2" -progress=false \
+    >"$ckdir/second.out" 2>"$ckdir/second.err"
+if ! diff -r "$ckdir/c1/ca" "$ckdir/c2/ca" >/dev/null || \
+   ! diff -r "$ckdir/c1/ckpt" "$ckdir/c2/ckpt" >/dev/null; then
+    echo "FAIL: checkpointed runs are not byte-deterministic"
+    rm -rf "$ckdir"
+    exit 1
+fi
+rm -rf "$ckdir/c1/ca"
+go run ./cmd/experiments -run fig4 -bench gzip,art -scale test \
+    -instr 2000 -skip 2000 -parallel 4 -cache-dir "$ckdir/c1" -progress=false \
+    >"$ckdir/third.out" 2>"$ckdir/third.err"
+if ! grep -q 'checkpoints: 0 built / 8 reused' "$ckdir/third.err"; then
+    echo "FAIL: warm checkpoint store re-ran the functional pass:"
+    cat "$ckdir/third.err"
+    rm -rf "$ckdir"
+    exit 1
+fi
+if ! diff -u "$ckdir/first.out" "$ckdir/third.out"; then
+    echo "FAIL: checkpoint-cache-hit run rendered different tables"
+    rm -rf "$ckdir"
+    exit 1
+fi
+rm -rf "$ckdir"
+echo "  checkpoints: 1 functional pass per benchmark, byte-identical caches, 0 rebuilds on warm store"
+
+echo "== measured-region window smoke (skip=0 unchanged) =="
+go test -count=1 -run 'TestRestoreSkipZeroBitIdentical|TestSkipMeasureWindow|TestCheckpointRestoreRoundTrip' \
+    ./internal/core/ ./internal/emu/
+
 echo "== telemetry smoke =="
 # End-to-end: a sampled WIB run must produce artifacts that wibtrace
 # validates (JSONL series, Chrome trace, Kanata stream).
@@ -76,12 +124,15 @@ go run ./cmd/wibtrace -render "$teldir/mgrid.kanata" >/dev/null
 echo "== telemetry overhead (disabled path must stay near-free) =="
 go test -count=1 -run TestDisabledTelemetryOverhead -v ./internal/telemetry/ | grep -E 'overhead|PASS|FAIL'
 
-echo "== simulator throughput vs BENCH_PR3.json =="
+benchref=BENCH_PR5.json
+[ -f "$benchref" ] || benchref=BENCH_PR3.json
+
+echo "== simulator throughput vs $benchref =="
 # Quick regression smoke: re-measure instrs/s for each throughput config
 # and compare against the recorded snapshot. The threshold is generous
 # (0.4x) — it catches "the fast path fell off" regressions, not machine
 # noise. Refresh the snapshot with `make bench` after intentional changes.
-if [ -f BENCH_PR3.json ] && command -v jq >/dev/null 2>&1; then
+if [ -f "$benchref" ] && command -v jq >/dev/null 2>&1; then
     go test -run '^$' -bench '^BenchmarkSimulatorThroughput$' \
         -benchtime 1s -count 1 . >/tmp/bench_now.$$ || { cat /tmp/bench_now.$$; exit 1; }
     awk '
@@ -91,7 +142,7 @@ if [ -f BENCH_PR3.json ] && command -v jq >/dev/null 2>&1; then
         for (i = 3; i < NF; i += 2) if ($(i+1) == "instrs/s") print name, $i
     }' /tmp/bench_now.$$ | while read -r name now; do
         ref=$(jq -r --arg n "$name" \
-            '.results[] | select(.bench == $n) | .instrs_per_sec // empty' BENCH_PR3.json)
+            '.results[] | select(.bench == $n) | .instrs_per_sec // empty' "$benchref")
         if [ -z "$ref" ]; then
             echo "  $name: ${now} instrs/s (no reference recorded)"
             continue
@@ -107,7 +158,25 @@ if [ -f BENCH_PR3.json ] && command -v jq >/dev/null 2>&1; then
     done
     rm -f /tmp/bench_now.$$
 else
-    echo "  skipped (no BENCH_PR3.json or jq)"
+    echo "  skipped (no $benchref or jq)"
+fi
+
+echo "== checkpointed-campaign speedup vs detailed-only =="
+# The tentpole's acceptance bar: a multi-config sweep with a functional
+# skip must beat detailed-only execution by >= 3x wall-clock (recorded in
+# BENCH_PR5.json by scripts/bench.sh).
+if [ -f BENCH_PR5.json ] && command -v jq >/dev/null 2>&1; then
+    ckpt=$(jq -r '.results[] | select(.bench == "CheckpointedCampaign") | .ckpt_speedup // empty' BENCH_PR5.json)
+    if [ -z "$ckpt" ]; then
+        echo "FAIL: BENCH_PR5.json records no ckpt_speedup"
+        exit 1
+    fi
+    awk -v s="$ckpt" 'BEGIN {
+        printf "  checkpointed sweep: %.2fx vs detailed-only\n", s
+        if (s < 3) { print "  FAIL: checkpoint speedup below 3x"; exit 1 }
+    }'
+else
+    echo "  skipped (no BENCH_PR5.json or jq)"
 fi
 
 echo "check: all gates passed"
