@@ -6,7 +6,8 @@
 //
 //	experiments [-run fig1,table2,fig4,fig5,fig6,policy,fig7,sens|all]
 //	            [-instr N] [-skip N] [-bench a,b,c] [-scale test|run|full] [-v]
-//	            [-parallel N] [-cache-dir dir] [-resume]
+//	            [-parallel N] [-cache-dir dir] [-resume] [-retries N]
+//	            [-server http://host:8420]
 //	            [-deadline 2m] [-crash-dump dir]
 //	            [-telemetry-dir dir] [-sample-interval N] [-pprof cpu.prof]
 //
@@ -23,6 +24,15 @@
 // the remaining cells still run, a failure-summary table is printed at
 // the end, and -crash-dump writes each failure's structured JSON dump
 // into the given directory for replay with `wibtrace -replay`.
+//
+// With -server the campaign executes on a wibserve worker fleet instead
+// of in-process: every cell the engine dispatches is submitted to the
+// coordinator and awaited over HTTP (transport faults and backpressure
+// retry transparently), while the local session keeps its own engine,
+// progress line, memoization, and -cache-dir store — the sweep's records
+// are byte-identical either way. Local-execution flags (-skip
+// checkpointing happens fleet-side per cell, -telemetry-dir, -deadline)
+// do not apply to remote cells.
 package main
 
 import (
@@ -39,6 +49,7 @@ import (
 	"largewindow/internal/campaign"
 	"largewindow/internal/core"
 	"largewindow/internal/harness"
+	"largewindow/internal/service"
 	"largewindow/internal/workload"
 )
 
@@ -55,6 +66,8 @@ func main() {
 
 		cacheDir = flag.String("cache-dir", "", "persist finished cells as JSON records in this directory")
 		resume   = flag.Bool("resume", false, "serve cells already in -cache-dir from disk instead of re-running them")
+		retries  = flag.Int("retries", 0, "attempts per cell across transient failures (0 = 2: run plus one retry)")
+		server   = flag.String("server", "", "execute cells on a wibserve coordinator at this base URL instead of in-process")
 		progFlag = flag.Bool("progress", true, "live campaign progress line (auto-disabled when stderr is not a terminal)")
 
 		deadline  = flag.Duration("deadline", 0, "wall-clock limit per simulation (0 = none)")
@@ -121,6 +134,20 @@ func main() {
 		logw = os.Stderr
 	}
 	opt.Log = logw
+	opt.Retry.MaxAttempts = *retries
+
+	var remote *service.Client
+	if *server != "" {
+		remote = service.NewClient(service.ClientOptions{Server: *server, Log: logw})
+		if err := remote.Healthy(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: coordinator %s unreachable: %v\n", *server, err)
+			os.Exit(1)
+		}
+		opt.Exec = remote.Exec
+		// Remote cells fail transiently on transport faults and lost
+		// workers (RemoteError), not on SimErrors — swap the classifier.
+		opt.Retry.IsTransient = service.IsTransient
+	}
 
 	s := harness.NewSession(opt)
 	if serr := s.StoreErr(); serr != nil {
@@ -149,6 +176,13 @@ func main() {
 		progress.Stop()
 	}
 	fmt.Fprintln(os.Stderr, s.Campaign().Snapshot().Summary())
+	if remote != nil {
+		if st, serr := remote.Stats(); serr == nil {
+			fmt.Fprintf(os.Stderr,
+				"coordinator: %d completed, %d failed, %d cache hits, %d retries, %d requeues, %d lease expiries\n",
+				st.Completed, st.Failed, st.CacheHits, st.Retries, st.Requeues, st.LeaseExpiries)
+		}
+	}
 	if fails := s.Failures(); len(fails) > 0 {
 		fmt.Fprintln(os.Stderr)
 		fmt.Fprint(os.Stderr, s.FailureSummary())

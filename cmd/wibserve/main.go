@@ -1,0 +1,109 @@
+// Command wibserve runs the campaign coordinator: an HTTP service that
+// accepts campaign cells, leases them to wibworker processes, and owns
+// retries, lease-expiry recovery, backpressure, and result persistence
+// (DESIGN.md §10).
+//
+// Usage:
+//
+//	wibserve [-addr :8420] [-cache-dir dir] [-resume]
+//	         [-queue-cap N] [-lease-ttl 30s] [-max-requeues N]
+//	         [-retry-max N] [-retry-base 0s] [-drain-timeout 30s] [-v]
+//
+// The coordinator is stateless beyond its in-memory queue: every finished
+// record persists atomically into the content-addressed store under
+// -cache-dir, so killing and restarting wibserve loses only bookkeeping
+// that resubmission rebuilds — never results. SIGTERM/SIGINT triggers a
+// graceful drain: new submissions are refused (503), workers are told to
+// exit as they next ask for work, and in-flight leases get -drain-timeout
+// to deliver before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"largewindow/internal/campaign"
+	"largewindow/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8420", "listen address (use :0 for an ephemeral port)")
+		cacheDir = flag.String("cache-dir", "", "content-addressed record store directory (required)")
+		resume   = flag.Bool("resume", false, "serve submitted cells already present in -cache-dir from disk")
+		queueCap = flag.Int("queue-cap", 0, "pending-queue bound; overflowing submissions get 429 (0 = 4096)")
+		leaseTTL = flag.Duration("lease-ttl", 0, "heartbeat deadline before a leased cell is requeued (0 = 30s)")
+		requeues = flag.Int("max-requeues", 0, "lease expiries before a cell fails permanently (0 = 5)")
+		retryMax = flag.Int("retry-max", 0, "attempts per cell across transient worker failures (0 = 2)")
+		retryBP  = flag.Duration("retry-base", 0, "base re-dispatch backoff, doubling per failure (0 = immediate)")
+		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight leases on shutdown")
+		verbose  = flag.Bool("v", false, "log dispatch, expiry, and rejection events")
+	)
+	flag.Parse()
+
+	if *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "wibserve: -cache-dir is required (completed records must persist somewhere)")
+		os.Exit(2)
+	}
+	store, err := campaign.NewStore(*cacheDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wibserve: %v\n", err)
+		os.Exit(1)
+	}
+	opt := service.CoordinatorOptions{
+		Store:       store,
+		Resume:      *resume,
+		QueueCap:    *queueCap,
+		LeaseTTL:    *leaseTTL,
+		MaxRequeues: *requeues,
+		Retry: campaign.RetryPolicy{
+			MaxAttempts: *retryMax,
+			BaseDelay:   *retryBP,
+			Jitter:      0.2,
+		},
+	}
+	if *verbose {
+		opt.Log = os.Stderr
+	}
+	coord := service.NewCoordinator(opt)
+	defer coord.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wibserve: %v\n", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	fmt.Printf("wibserve listening on %s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "wibserve: %s, draining\n", sig)
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "wibserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := coord.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "wibserve: drain: %v\n", err)
+	}
+	srv.Shutdown(ctx)
+	st := coord.Stats()
+	fmt.Fprintf(os.Stderr,
+		"wibserve: done — %d submitted, %d completed, %d failed, %d cache hits, %d retries, %d requeues, %d lease expiries\n",
+		st.Submitted, st.Completed, st.Failed, st.CacheHits, st.Retries, st.Requeues, st.LeaseExpiries)
+}

@@ -1,0 +1,106 @@
+// Command wibworker executes campaign cells leased from a wibserve
+// coordinator (DESIGN.md §10).
+//
+// Usage:
+//
+//	wibworker -server http://host:8420 [-id name] [-parallel N]
+//	          [-poll 2s] [-deadline 0] [-v]
+//
+// A worker is deliberately dumb: it leases one cell at a time per slot,
+// heartbeats while the simulation runs, reports the outcome (classified
+// transient or permanent), and lets the coordinator own every scheduling
+// decision. -parallel N runs N lease loops sharing one harness session,
+// so functional fast-forward checkpoints are built once per (benchmark,
+// scale, skip) and shared across slots. SIGTERM/SIGINT is the graceful
+// path: each slot finishes and delivers its in-flight cell, then exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"syscall"
+
+	"largewindow/internal/harness"
+	"largewindow/internal/service"
+)
+
+func main() {
+	var (
+		server   = flag.String("server", "", "coordinator base URL (required)")
+		id       = flag.String("id", "", "worker name in coordinator logs (default host-pid)")
+		par      = flag.Int("parallel", 0, "concurrent lease slots (0 = GOMAXPROCS)")
+		poll     = flag.Duration("poll", 0, "lease long-poll budget when the queue is dry (0 = 2s)")
+		deadline = flag.Duration("deadline", 0, "wall-clock limit per simulation, reported transient (0 = none)")
+		verbose  = flag.Bool("v", false, "log lease and completion events")
+	)
+	flag.Parse()
+
+	if *server == "" {
+		fmt.Fprintln(os.Stderr, "wibworker: -server is required")
+		os.Exit(2)
+	}
+	slots := *par
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	var logw io.Writer
+	if *verbose {
+		logw = os.Stderr
+	}
+
+	// One session, shared by every slot: the coordinator owns dedup,
+	// retries, and persistence, so the session is pure execution — plus a
+	// shared checkpoint cache for the cells' fast-forward windows.
+	session := harness.NewSession(harness.Options{
+		RunDeadline:     *deadline,
+		CheckpointCache: true,
+	})
+	if logw != nil {
+		fmt.Fprintf(logw, "wibworker: %d slots against %s\n", slots, *server)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "wibworker: %s, finishing in-flight cells\n", sig)
+		cancel()
+	}()
+
+	base := *id
+	var wg sync.WaitGroup
+	workers := make([]*service.Worker, slots)
+	for i := 0; i < slots; i++ {
+		wid := base
+		if wid != "" && slots > 1 {
+			wid = fmt.Sprintf("%s-%d", base, i)
+		}
+		w := service.NewWorker(service.WorkerOptions{
+			Server:   *server,
+			ID:       wid,
+			Exec:     session.ExecCell,
+			Classify: harness.Transient,
+			PollWait: *poll,
+			Log:      logw,
+		})
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	wg.Wait()
+	var done uint64
+	for _, w := range workers {
+		done += w.CellsDone()
+	}
+	fmt.Fprintf(os.Stderr, "wibworker: exiting after %d completions\n", done)
+}

@@ -343,6 +343,15 @@ func TestEngineTransientRetry(t *testing.T) {
 	if s := eng.Snapshot(); s.Retries != 1 || s.Failed != 0 {
 		t.Errorf("snapshot %+v", s)
 	}
+	// Retries surface in both the live progress line and the summary.
+	if sum := eng.Snapshot().Summary(); !strings.Contains(sum, "1 retried") {
+		t.Errorf("summary %q missing retry count", sum)
+	}
+	p := NewProgress(eng, io.Discard, 0, 0)
+	defer p.Stop()
+	if line := p.Line(); !strings.Contains(line, "(1 retried)") {
+		t.Errorf("progress line %q missing retry count", line)
+	}
 }
 
 func TestManifestDedupAndOrder(t *testing.T) {

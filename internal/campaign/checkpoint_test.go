@@ -163,6 +163,68 @@ func TestCheckpointsCorruptEntryRebuilds(t *testing.T) {
 	}
 }
 
+// TestCheckpointCorruptConcurrentRebuild: two goroutines race into a
+// fresh cache whose disk entry is corrupted. The single-flight slot must
+// absorb the race — exactly one functional rebuild, both callers handed
+// the same repaired checkpoint, and the disk entry overwritten with a
+// good one — rather than rebuilding twice or serving anyone the corrupt
+// bytes.
+func TestCheckpointCorruptConcurrentRebuild(t *testing.T) {
+	dir := t.TempDir()
+	id := testKey().ID()
+	if err := os.WriteFile(filepath.Join(dir, id+".json"), []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	c, err := NewCheckpoints(dir, &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var builds atomic.Uint64
+	inner := buildTestCheckpoint(t)
+	build := func() (*emu.Checkpoint, error) {
+		builds.Add(1)
+		return inner()
+	}
+	var wg sync.WaitGroup
+	cps := make([]*emu.Checkpoint, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cp, err := c.Get(testKey(), build)
+			if err != nil {
+				t.Error(err)
+			}
+			cps[i] = cp
+		}(i)
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Errorf("corrupt entry rebuilt %d times under concurrency, want exactly 1", builds.Load())
+	}
+	if cps[0] != cps[1] {
+		t.Error("racing Gets returned different checkpoint instances")
+	}
+	if built, reused := c.Counts(); built != 1 || reused != 1 {
+		t.Errorf("counts = (%d built, %d reused), want (1, 1)", built, reused)
+	}
+	if !bytes.Contains(log.Bytes(), []byte("unusable")) {
+		t.Errorf("corruption not logged: %q", log.String())
+	}
+	// The repair persisted: a fresh cache loads the entry from disk.
+	c2, err := NewCheckpoints(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Get(testKey(), func() (*emu.Checkpoint, error) {
+		t.Error("repaired entry did not persist")
+		return inner()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestCheckpointsMemoryOnly: dir == "" never touches disk but still
 // single-flights within the process.
 func TestCheckpointsMemoryOnly(t *testing.T) {

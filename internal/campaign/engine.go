@@ -29,9 +29,15 @@ type Options struct {
 	// store is served from disk without executing. Without Resume the
 	// store is write-only — a fresh campaign overwrites old records.
 	Resume bool
-	// IsTransient, when non-nil, classifies errors worth one retry
+	// IsTransient, when non-nil, classifies errors worth retrying
 	// (wall-clock deadlines on a loaded machine; never simulator bugs).
+	// It is shorthand for Retry.IsTransient and is used only when the
+	// Retry policy carries no classifier of its own.
 	IsTransient func(error) bool
+	// Retry is the cell re-execution policy (budget, backoff, jitter).
+	// The zero value preserves the engine's historical behavior: one
+	// immediate retry of transient failures.
+	Retry RetryPolicy
 	// Log receives retry and cache-corruption lines (nil = quiet).
 	Log io.Writer
 	// Checkpoints, when non-nil, is the campaign's shared functional-
@@ -95,6 +101,9 @@ type Engine struct {
 func NewEngine(exec ExecFunc, opt Options) *Engine {
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.Retry.IsTransient == nil {
+		opt.Retry.IsTransient = opt.IsTransient
 	}
 	e := &Engine{
 		exec:   exec,
@@ -262,13 +271,17 @@ func (e *Engine) reacquire() bool {
 }
 
 // runCell executes one claimed cell with panic isolation and the
-// transient-retry policy, persists the record, and releases waiters.
+// engine's retry policy, persists the record, and releases waiters.
 func (e *Engine) runCell(st *cellState) {
 	rec, err := e.execIsolated(st.cell)
-	if err != nil && e.opt.IsTransient != nil && e.opt.IsTransient(err) {
+	for failures := 1; e.opt.Retry.Retryable(failures, err); failures++ {
 		e.retries.Add(1)
 		if e.opt.Log != nil {
-			fmt.Fprintf(e.opt.Log, "  RETRY %s on %s: %v\n", st.cell.Bench, st.cell.Config.Name, err)
+			fmt.Fprintf(e.opt.Log, "  RETRY %s on %s (attempt %d): %v\n",
+				st.cell.Bench, st.cell.Config.Name, failures+1, err)
+		}
+		if d := e.opt.Retry.Backoff(failures); d > 0 {
+			time.Sleep(d)
 		}
 		rec, err = e.execIsolated(st.cell)
 	}
@@ -350,6 +363,9 @@ func (e *Engine) Snapshot() Snapshot {
 func (s Snapshot) Summary() string {
 	out := fmt.Sprintf("campaign: %d cells — %d executed, %d cached, %d failed in %s",
 		s.Done, s.Executed, s.CacheHits, s.Failed, s.Elapsed.Round(time.Millisecond))
+	if s.Retries > 0 {
+		out += fmt.Sprintf(", %d retried", s.Retries)
+	}
 	if s.HasCheckpoints {
 		out += fmt.Sprintf(", checkpoints: %d built / %d reused", s.CkptBuilt, s.CkptReused)
 	}

@@ -66,6 +66,9 @@ func (p *Progress) Line() string {
 	if s.CacheHits > 0 {
 		line += fmt.Sprintf(" (%d cached)", s.CacheHits)
 	}
+	if s.Retries > 0 {
+		line += fmt.Sprintf(" (%d retried)", s.Retries)
+	}
 	if s.Failed > 0 {
 		line += fmt.Sprintf(" (%d FAILED)", s.Failed)
 	}

@@ -1,0 +1,91 @@
+package campaign
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy is the campaign-wide answer to "a cell failed — now what?".
+// It replaces the engine's original hard-coded retry-once rule and is
+// shared by every executor tier: the in-process engine, the service
+// coordinator's re-dispatch loop, and the HTTP client's transport layer
+// all apply the same budget/backoff/classification semantics, so a cell
+// behaves identically whether it fails on a local goroutine or on a
+// worker across the network.
+//
+// The zero value is usable: it means "retry transient failures once,
+// immediately" — exactly the engine's historical behavior — provided an
+// IsTransient classifier is set; with no classifier nothing is ever
+// retried.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total executions of one cell, the first
+	// included (<= 0 means 2: the original run plus one retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; attempt n waits
+	// BaseDelay·2^(n-1). Zero retries immediately (the local engine's
+	// default — a transient wall-clock deadline needs no cool-down).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (0 with a non-zero BaseDelay
+	// means 30s).
+	MaxDelay time.Duration
+	// Jitter randomizes each delay by ±Jitter fraction (0..1), decorrelating
+	// a fleet of workers that failed together so they do not retry
+	// together. 0 means deterministic delays.
+	Jitter float64
+	// IsTransient classifies errors worth re-execution (wall-clock
+	// deadlines on a loaded machine, lost workers, connection resets —
+	// never simulator bugs). nil retries nothing.
+	IsTransient func(error) bool
+}
+
+// maxAttempts resolves the attempt budget default.
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 2
+	}
+	return p.MaxAttempts
+}
+
+// Attempts returns the resolved attempt budget. Callers that classify
+// failures out-of-band (the service coordinator trusts the transient
+// flag its workers put on the wire) combine it with Backoff directly
+// instead of going through Retryable.
+func (p RetryPolicy) Attempts() int { return p.maxAttempts() }
+
+// Retryable reports whether a cell that has failed `failures` times
+// (>= 1) with err is worth another attempt under this policy.
+func (p RetryPolicy) Retryable(failures int, err error) bool {
+	if err == nil || p.IsTransient == nil {
+		return false
+	}
+	return failures < p.maxAttempts() && p.IsTransient(err)
+}
+
+// Backoff returns how long to wait before retry number `failures`
+// (1-based: the delay after the first failure is Backoff(1)), with
+// exponential growth, the MaxDelay cap, and ±Jitter randomization
+// applied.
+func (p RetryPolicy) Backoff(failures int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	d := p.BaseDelay
+	for i := 1; i < failures && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if p.Jitter > 0 {
+		f := 1 + p.Jitter*(2*rand.Float64()-1)
+		d = time.Duration(float64(d) * f)
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}

@@ -1,0 +1,112 @@
+package campaign
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetryPolicyDefaults(t *testing.T) {
+	sentinel := errors.New("blip")
+	classify := func(err error) bool { return errors.Is(err, sentinel) }
+
+	// Zero value + classifier = retry once, immediately.
+	p := RetryPolicy{IsTransient: classify}
+	if !p.Retryable(1, sentinel) {
+		t.Error("zero-value policy must allow one retry of a transient error")
+	}
+	if p.Retryable(2, sentinel) {
+		t.Error("zero-value policy must stop after the first retry")
+	}
+	if p.Retryable(1, errors.New("permanent")) {
+		t.Error("non-transient error retried")
+	}
+	if d := p.Backoff(1); d != 0 {
+		t.Errorf("zero-value backoff = %v, want immediate", d)
+	}
+
+	// No classifier = nothing is ever retried.
+	var bare RetryPolicy
+	if bare.Retryable(1, sentinel) {
+		t.Error("policy without a classifier retried an error")
+	}
+	if bare.Retryable(1, nil) {
+		t.Error("nil error retried")
+	}
+}
+
+func TestRetryPolicyBackoffGrowthAndCap(t *testing.T) {
+	p := RetryPolicy{
+		MaxAttempts: 6,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    400 * time.Millisecond,
+	}
+	want := []time.Duration{
+		100 * time.Millisecond, // failure 1
+		200 * time.Millisecond, // 2: doubled
+		400 * time.Millisecond, // 3: doubled again
+		400 * time.Millisecond, // 4: capped
+		400 * time.Millisecond, // 5: capped
+	}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w {
+			t.Errorf("Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestRetryPolicyJitterBounds(t *testing.T) {
+	p := RetryPolicy{
+		BaseDelay: 100 * time.Millisecond,
+		MaxDelay:  time.Second,
+		Jitter:    0.5,
+	}
+	lo, hi := 50*time.Millisecond, 150*time.Millisecond
+	for i := 0; i < 200; i++ {
+		d := p.Backoff(1)
+		if d < lo || d > hi {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+}
+
+// TestEngineRetryBudget: a three-attempt policy must re-execute a cell
+// failing transiently twice, and give up (without looping) on a cell
+// that never recovers.
+func TestEngineRetryBudget(t *testing.T) {
+	sentinel := errors.New("transient blip")
+	attempts := map[string]int{}
+	eng := NewEngine(func(c Cell) (*Record, error) {
+		attempts[c.Bench]++
+		switch c.Bench {
+		case "recovers":
+			if attempts[c.Bench] <= 2 {
+				return nil, sentinel
+			}
+			return fakeExec(c)
+		default: // "doomed"
+			return nil, sentinel
+		}
+	}, Options{
+		Workers: 1,
+		Retry: RetryPolicy{
+			MaxAttempts: 3,
+			IsTransient: func(err error) bool { return errors.Is(err, sentinel) },
+		},
+	})
+	if _, err := eng.Run(testCell("", 64, "recovers")); err != nil {
+		t.Errorf("cell recovering on attempt 3 still failed: %v", err)
+	}
+	if attempts["recovers"] != 3 {
+		t.Errorf("recovering cell executed %d times, want 3", attempts["recovers"])
+	}
+	if _, err := eng.Run(testCell("", 64, "doomed")); err == nil {
+		t.Error("cell failing every attempt reported success")
+	}
+	if attempts["doomed"] != 3 {
+		t.Errorf("doomed cell executed %d times, want 3 (budget exhausted)", attempts["doomed"])
+	}
+	if s := eng.Snapshot(); s.Retries != 4 || s.Failed != 1 {
+		t.Errorf("snapshot %+v, want 4 retries and 1 failure", s)
+	}
+}

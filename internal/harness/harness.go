@@ -49,9 +49,33 @@ type Options struct {
 	// Log receives progress lines (nil = quiet).
 	Log io.Writer
 	// RunDeadline bounds each simulation's wall-clock time; a run that
-	// exceeds it fails with a transient SimError (and is retried once).
-	// 0 means no deadline.
+	// exceeds it fails with a transient SimError and is retried under the
+	// session's Retry policy. 0 means no deadline.
 	RunDeadline time.Duration
+	// Retry configures the cell re-execution policy (budget, backoff,
+	// jitter). The zero value retries transient failures once,
+	// immediately — the historical behavior. A nil Retry.IsTransient
+	// uses the harness classifier (transient SimErrors, minus context
+	// cancellation).
+	Retry campaign.RetryPolicy
+	// Context, when non-nil, is the base context of every simulation the
+	// session executes: cancelling it aborts in-flight cells (they fail
+	// with a non-retryable cancellation error and are never persisted)
+	// and fails all cells not yet started.
+	Context context.Context
+	// Exec, when non-nil, replaces local execution entirely: every cell
+	// the engine decides to run is handed to this function instead of
+	// being simulated in-process. It is how `experiments -server` routes
+	// a campaign to a remote coordinator. Local-only options (PreRun,
+	// TelemetryDir, SkipInstr checkpointing) do not apply to cells a
+	// custom Exec runs elsewhere.
+	Exec campaign.ExecFunc
+	// CheckpointCache forces the session to maintain a shared functional-
+	// checkpoint cache even when SkipInstr is 0. Service workers set it:
+	// the cells they execute carry their own per-cell skip windows, and
+	// without a session-level cache every cell would rebuild its
+	// checkpoint from scratch.
+	CheckpointCache bool
 	// PreRun, when non-nil, is invoked on each freshly constructed
 	// processor before its run starts. It exists for tests (fault
 	// injection, tracing hooks); production sessions leave it nil. Note
@@ -158,7 +182,7 @@ func NewSession(opt Options) *Session {
 			s.store = store
 		}
 	}
-	if opt.SkipInstr > 0 {
+	if opt.SkipInstr > 0 || opt.CheckpointCache {
 		ckptDir := ""
 		if s.store != nil {
 			ckptDir = filepath.Join(opt.CacheDir, "ckpt")
@@ -174,11 +198,19 @@ func NewSession(opt Options) *Session {
 		}
 		s.ckpts = ckpts
 	}
-	s.eng = campaign.NewEngine(s.execCell, campaign.Options{
+	exec := campaign.ExecFunc(s.execCell)
+	if opt.Exec != nil {
+		exec = opt.Exec
+	}
+	retry := opt.Retry
+	if retry.IsTransient == nil {
+		retry.IsTransient = Transient
+	}
+	s.eng = campaign.NewEngine(exec, campaign.Options{
 		Workers:     opt.Parallel,
 		Store:       s.store,
 		Resume:      opt.Resume,
-		IsTransient: transient,
+		Retry:       retry,
 		Log:         opt.Log,
 		Checkpoints: s.ckpts,
 	})
@@ -316,7 +348,10 @@ func (s *Session) execCell(cell campaign.Cell) (*campaign.Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := context.Background()
+	ctx := s.opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if s.opt.RunDeadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.opt.RunDeadline)
@@ -402,11 +437,31 @@ func (s *Session) attachTelemetry(p *core.Processor, cfg core.Config, spec workl
 	}, nil
 }
 
-// transient reports whether an error is worth one retry (wall-clock
-// deadline hits on a loaded machine; never simulator bugs).
-func transient(err error) bool {
+// Transient is the harness's retry classifier: wall-clock deadline hits
+// on a loaded machine are worth re-execution, simulator bugs never are,
+// and neither is a deliberate cancellation — a cancelled campaign must
+// stop, not retry cells against a context that stays cancelled.
+func Transient(err error) bool {
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
 	var se *core.SimError
 	return errors.As(err, &se) && se.Transient
+}
+
+// ExecCell executes one campaign cell in-process, panic-isolated, without
+// touching the session's engine, memo, or store. It is the execution
+// surface service workers mount behind the coordinator protocol: the
+// coordinator owns dedup, retries, and persistence, so the worker needs
+// raw single-shot execution — but still shares the session's checkpoint
+// cache across the cells it is leased.
+func (s *Session) ExecCell(cell campaign.Cell) (rec *campaign.Record, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rec, err = nil, fmt.Errorf("harness: panic executing %s: %v", cell, r)
+		}
+	}()
+	return s.execCell(cell)
 }
 
 // RunAll simulates every selected benchmark under cfg, concurrently, and

@@ -29,6 +29,11 @@ const (
 	// persisted in the campaign store (registers, memory image, warm
 	// rings).
 	CheckpointVersion = 1
+	// ServiceVersion covers the distributed-campaign HTTP protocol
+	// (internal/service): submit/lease/heartbeat/complete bodies. A
+	// coordinator rejects requests stamped with a newer version than it
+	// understands instead of misreading them.
+	ServiceVersion = 1
 )
 
 // Header is the leading line of stream-shaped artifacts (telemetry JSONL)

@@ -1,0 +1,653 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"largewindow/internal/campaign"
+	"largewindow/internal/telemetry"
+)
+
+// CoordinatorOptions configures a campaign coordinator.
+type CoordinatorOptions struct {
+	// Store, when non-nil, is the shared content-addressed record store:
+	// every completed cell persists there (atomically; failures never),
+	// and with Resume submitted cells already present are served from
+	// disk without dispatching.
+	Store  *campaign.Store
+	Resume bool
+	// QueueCap bounds the pending queue (<= 0: 4096). Submissions that
+	// would overflow it are rejected with 429 + Retry-After — the
+	// backpressure contract clients must honor.
+	QueueCap int
+	// LeaseTTL is how long a dispatched cell may go without a heartbeat
+	// before it returns to the queue (<= 0: 30s).
+	LeaseTTL time.Duration
+	// Retry governs re-dispatch of cells whose workers report a
+	// transient failure: budget via MaxAttempts, cool-down via
+	// BaseDelay/MaxDelay/Jitter. (Classification happens worker-side and
+	// rides the wire; the policy's own IsTransient is not consulted.)
+	Retry campaign.RetryPolicy
+	// MaxRequeues bounds how many times one cell may be returned to the
+	// queue by lease expiry before it fails permanently (<= 0: 5) — the
+	// poison-cell guard: a cell that kills every worker it touches must
+	// not eat the fleet forever.
+	MaxRequeues int
+	// Log receives dispatch, expiry, and rejection lines (nil = quiet).
+	Log io.Writer
+}
+
+func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
+	if o.QueueCap <= 0 {
+		o.QueueCap = 4096
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.MaxRequeues <= 0 {
+		o.MaxRequeues = 5
+	}
+	return o
+}
+
+// svcCell is the coordinator's state for one distinct cell.
+type svcCell struct {
+	cell campaign.Cell
+	id   string
+
+	status   string // StatusPending | StatusRunning | StatusDone | StatusFailed
+	attempts int    // dispatches so far
+	failures int    // transient failures reported by workers
+	requeues int    // lease expiries suffered
+
+	notBefore time.Time // retry backoff: not dispatchable before this
+
+	leaseID string
+	expiry  time.Time
+	worker  string
+
+	rec    *campaign.Record
+	errMsg string
+	done   chan struct{} // closed on StatusDone / StatusFailed
+}
+
+// Coordinator schedules submitted cells onto leasing workers and owns
+// the authoritative lifecycle of every cell: pending → running →
+// done/failed, with lease-expiry requeue and transient-failure retry in
+// between. All state is in memory except finished records, which live in
+// the shared store — losing the coordinator loses only bookkeeping that
+// resubmission rebuilds, never results.
+type Coordinator struct {
+	opt CoordinatorOptions
+	reg *telemetry.Registry
+
+	mu       sync.Mutex
+	cells    map[string]*svcCell
+	queue    []*svcCell
+	leases   map[string]*svcCell
+	wake     chan struct{} // closed+replaced when work may be available
+	draining bool
+
+	submitted     atomic.Uint64
+	completed     atomic.Uint64
+	failed        atomic.Uint64
+	cacheHits     atomic.Uint64
+	retries       atomic.Uint64
+	requeues      atomic.Uint64
+	leaseExpiries atomic.Uint64
+	rejected      atomic.Uint64
+
+	stopReaper chan struct{}
+	reaperDone chan struct{}
+}
+
+// NewCoordinator builds a coordinator and starts its lease reaper. Call
+// Close (or Drain) when done.
+func NewCoordinator(opt CoordinatorOptions) *Coordinator {
+	c := &Coordinator{
+		opt:        opt.withDefaults(),
+		reg:        telemetry.NewRegistry(),
+		cells:      make(map[string]*svcCell),
+		leases:     make(map[string]*svcCell),
+		wake:       make(chan struct{}),
+		stopReaper: make(chan struct{}),
+		reaperDone: make(chan struct{}),
+	}
+	c.reg.CounterFunc("service.cells.submitted", c.submitted.Load)
+	c.reg.CounterFunc("service.cells.completed", c.completed.Load)
+	c.reg.CounterFunc("service.cells.failed", c.failed.Load)
+	c.reg.CounterFunc("service.cells.cache_hits", c.cacheHits.Load)
+	c.reg.CounterFunc("service.retries", c.retries.Load)
+	c.reg.CounterFunc("service.requeues", c.requeues.Load)
+	c.reg.CounterFunc("service.lease_expiries", c.leaseExpiries.Load)
+	c.reg.CounterFunc("service.rejected", c.rejected.Load)
+	c.reg.CounterFunc("service.queue.depth", func() uint64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return uint64(len(c.queue))
+	})
+	go c.reaper()
+	return c
+}
+
+// Registry exposes the coordinator's telemetry counters.
+func (c *Coordinator) Registry() *telemetry.Registry { return c.reg }
+
+// Close stops the reaper. It does not wait for in-flight work; use Drain
+// for a graceful shutdown.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.stopReaper:
+	default:
+		close(c.stopReaper)
+	}
+	<-c.reaperDone
+}
+
+// Drain enters graceful shutdown: new submissions are refused (503), no
+// further leases are issued (workers are told to exit), and the call
+// blocks until every in-flight lease completes or ctx expires. Queued
+// cells that never dispatched stay pending — they were never promised,
+// and resubmission to a future coordinator re-dispatches them safely.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.broadcastLocked()
+	c.mu.Unlock()
+	if c.opt.Log != nil {
+		fmt.Fprintf(c.opt.Log, "coordinator: draining (%d leases in flight)\n", c.activeLeases())
+	}
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if c.activeLeases() == 0 {
+			c.Close()
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			c.Close()
+			return fmt.Errorf("service: drain: %d leases still in flight: %w", c.activeLeases(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+func (c *Coordinator) activeLeases() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.leases)
+}
+
+// broadcastLocked wakes every long-polling lease request. Callers hold mu.
+func (c *Coordinator) broadcastLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+// reaper returns expired leases to the queue: a worker that missed its
+// heartbeat window is presumed dead, and because failures are never
+// persisted and records are content-addressed, re-dispatching its cell
+// is always safe.
+func (c *Coordinator) reaper() {
+	defer close(c.reaperDone)
+	interval := c.opt.LeaseTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stopReaper:
+			return
+		case now := <-tick.C:
+			c.reapExpired(now)
+		}
+	}
+}
+
+func (c *Coordinator) reapExpired(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, sc := range c.leases {
+		if now.Before(sc.expiry) {
+			continue
+		}
+		delete(c.leases, id)
+		sc.leaseID = ""
+		c.leaseExpiries.Add(1)
+		if c.opt.Log != nil {
+			fmt.Fprintf(c.opt.Log, "coordinator: lease %s expired (worker %s, cell %s, attempt %d)\n",
+				id, sc.worker, sc.cell, sc.attempts)
+		}
+		sc.requeues++
+		if sc.requeues > c.opt.MaxRequeues {
+			c.failLocked(sc, fmt.Sprintf("lease expired %d times (poison cell or fleet-wide loss)", sc.requeues))
+			continue
+		}
+		c.requeues.Add(1)
+		sc.status = StatusPending
+		sc.notBefore = time.Time{}
+		// Front of the queue: a requeued cell has already waited its turn.
+		c.queue = append([]*svcCell{sc}, c.queue...)
+		c.broadcastLocked()
+	}
+}
+
+// failLocked finishes a cell permanently. Callers hold mu.
+func (c *Coordinator) failLocked(sc *svcCell, msg string) {
+	sc.status = StatusFailed
+	sc.errMsg = msg
+	c.failed.Add(1)
+	close(sc.done)
+	if c.opt.Log != nil {
+		fmt.Fprintf(c.opt.Log, "coordinator: cell %s FAILED: %s\n", sc.cell, msg)
+	}
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathSubmit, c.handleSubmit)
+	mux.HandleFunc(PathLease, c.handleLease)
+	mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
+	mux.HandleFunc(PathComplete, c.handleComplete)
+	mux.HandleFunc(PathResult, c.handleResult)
+	mux.HandleFunc(PathStats, c.handleStats)
+	mux.HandleFunc(PathHealth, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any, what string, version *int) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("decoding %s: %v", what, err), http.StatusBadRequest)
+		return false
+	}
+	if err := checkVersion(*version, what); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// handleSubmit registers cells. Known cells (queued, running, finished,
+// or in the store) are deduplicated for free via their content IDs;
+// permanently failed cells are re-armed — failures are never persisted,
+// so a resubmitted failure re-executes, exactly like a fresh campaign
+// over an engine.
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if !decodeBody(w, r, &req, "submit request", &req.SchemaVersion) {
+		return
+	}
+	// Probe the store outside the lock: disk reads must not stall the
+	// dispatch path. A racing duplicate submit resolves under the lock.
+	type probe struct {
+		id  string
+		rec *campaign.Record
+	}
+	probes := make([]probe, len(req.Cells))
+	for i, cell := range req.Cells {
+		probes[i].id = cell.ID()
+		if c.opt.Resume && c.opt.Store != nil {
+			rec, err := c.opt.Store.Get(probes[i].id)
+			if err == nil && rec != nil {
+				probes[i].rec = rec
+			} else if err != nil && c.opt.Log != nil {
+				fmt.Fprintf(c.opt.Log, "coordinator: store entry %s unusable, re-running: %v\n", probes[i].id, err)
+			}
+		}
+	}
+
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		http.Error(w, "coordinator is draining", http.StatusServiceUnavailable)
+		return
+	}
+	// Backpressure: count the enqueues this request needs and bounce the
+	// whole batch if the queue cannot absorb them.
+	need := 0
+	for i := range req.Cells {
+		sc, known := c.cells[probes[i].id]
+		if (!known || sc.status == StatusFailed) && probes[i].rec == nil {
+			need++
+		}
+	}
+	if len(c.queue)+need > c.opt.QueueCap {
+		c.mu.Unlock()
+		c.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, fmt.Sprintf("queue full (%d pending, cap %d)", need, c.opt.QueueCap),
+			http.StatusTooManyRequests)
+		return
+	}
+	resp := SubmitResponse{IDs: make([]string, len(req.Cells))}
+	for i, cell := range req.Cells {
+		id := probes[i].id
+		resp.IDs[i] = id
+		sc, known := c.cells[id]
+		if known && sc.status != StatusFailed {
+			continue // queued, running, or done: dedup
+		}
+		if !known {
+			sc = &svcCell{cell: cell, id: id, done: make(chan struct{})}
+			c.cells[id] = sc
+			c.submitted.Add(1)
+		} else {
+			// Re-armed failure: fresh lifecycle, fresh waiters.
+			sc.failures, sc.requeues, sc.attempts = 0, 0, 0
+			sc.errMsg = ""
+			sc.done = make(chan struct{})
+		}
+		if rec := probes[i].rec; rec != nil {
+			sc.status = StatusDone
+			sc.rec = rec
+			c.cacheHits.Add(1)
+			c.completed.Add(1)
+			close(sc.done)
+			continue
+		}
+		sc.status = StatusPending
+		sc.notBefore = time.Time{}
+		c.queue = append(c.queue, sc)
+		resp.Enqueued++
+	}
+	if resp.Enqueued > 0 {
+		c.broadcastLocked()
+	}
+	c.mu.Unlock()
+	stamp(&resp.SchemaVersion)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleLease hands one pending cell to a worker under a fresh lease,
+// long-polling up to the request's wait budget when the queue is dry.
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decodeBody(w, r, &req, "lease request", &req.SchemaVersion) {
+		return
+	}
+	wait := time.Duration(req.WaitMS) * time.Millisecond
+	if wait > time.Minute {
+		wait = time.Minute
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		c.mu.Lock()
+		if c.draining {
+			c.mu.Unlock()
+			resp := LeaseResponse{Draining: true}
+			stamp(&resp.SchemaVersion)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		if sc := c.popReadyLocked(time.Now()); sc != nil {
+			lease := c.leaseLocked(sc, req.WorkerID)
+			c.mu.Unlock()
+			if c.opt.Log != nil {
+				fmt.Fprintf(c.opt.Log, "coordinator: leased %s to %s (lease %s, attempt %d)\n",
+					sc.cell, req.WorkerID, lease.LeaseID, lease.Attempt)
+			}
+			resp := LeaseResponse{Lease: lease}
+			stamp(&resp.SchemaVersion)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		wake := c.wake
+		c.mu.Unlock()
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			resp := LeaseResponse{}
+			stamp(&resp.SchemaVersion)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		// The 50ms tick also promotes cells whose retry backoff elapsed.
+		poll := 50 * time.Millisecond
+		if remain < poll {
+			poll = remain
+		}
+		select {
+		case <-wake:
+		case <-time.After(poll):
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// popReadyLocked removes and returns the first dispatchable cell
+// (backoff windows respected). Callers hold mu.
+func (c *Coordinator) popReadyLocked(now time.Time) *svcCell {
+	for i, sc := range c.queue {
+		if sc.notBefore.After(now) {
+			continue
+		}
+		c.queue = append(c.queue[:i], c.queue[i+1:]...)
+		return sc
+	}
+	return nil
+}
+
+// leaseLocked creates a lease for a cell. Callers hold mu.
+func (c *Coordinator) leaseLocked(sc *svcCell, worker string) *Lease {
+	var raw [8]byte
+	rand.Read(raw[:])
+	id := hex.EncodeToString(raw[:])
+	sc.status = StatusRunning
+	sc.leaseID = id
+	sc.worker = worker
+	sc.expiry = time.Now().Add(c.opt.LeaseTTL)
+	sc.attempts++
+	c.leases[id] = sc
+	return &Lease{
+		LeaseID: id,
+		CellID:  sc.id,
+		Cell:    sc.cell,
+		Attempt: sc.attempts,
+		TTLMS:   c.opt.LeaseTTL.Milliseconds(),
+	}
+}
+
+// handleHeartbeat extends a live lease. A lease the reaper already
+// returned to the queue answers 410 Gone: the worker should abandon the
+// cell (its eventual completion would be refused anyway).
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeBody(w, r, &req, "heartbeat", &req.SchemaVersion) {
+		return
+	}
+	c.mu.Lock()
+	sc, ok := c.leases[req.LeaseID]
+	if ok {
+		sc.expiry = time.Now().Add(c.opt.LeaseTTL)
+	}
+	c.mu.Unlock()
+	if !ok {
+		http.Error(w, "lease not held", http.StatusGone)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleComplete resolves a leased cell. Stale leases (expired, or the
+// cell re-dispatched elsewhere) are refused with 410 so a hung worker
+// waking up late cannot overwrite the authoritative outcome. Records are
+// sanity-checked against the cell's content ID — a corrupted worker
+// cannot poison the store — and persisted before waiters release.
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !decodeBody(w, r, &req, "completion", &req.SchemaVersion) {
+		return
+	}
+	c.mu.Lock()
+	sc, ok := c.leases[req.LeaseID]
+	if !ok || sc.leaseID != req.LeaseID {
+		c.mu.Unlock()
+		http.Error(w, "lease not held", http.StatusGone)
+		return
+	}
+	delete(c.leases, req.LeaseID)
+	sc.leaseID = ""
+
+	errMsg, transient := req.Error, req.Transient
+	rec := req.Record
+	if errMsg == "" {
+		switch {
+		case rec == nil:
+			errMsg, transient = "completion carried neither record nor error", true
+		case rec.CellID != "" && rec.CellID != sc.id:
+			// A worker that disagrees about what it computed is corrupt;
+			// the work itself is fine — re-dispatch it.
+			errMsg = fmt.Sprintf("record names cell %s, lease was for %s (corrupt worker?)", rec.CellID, sc.id)
+			transient = true
+		}
+	}
+	if errMsg == "" {
+		rec.CellID = sc.id
+		// Persist before releasing waiters: a client that saw "done" must
+		// never observe a store the record has not reached yet. The cell
+		// is out of the lease table and not queued, so nothing else can
+		// touch it while the lock is dropped for disk I/O.
+		c.mu.Unlock()
+		if c.opt.Store != nil {
+			if perr := c.opt.Store.Put(rec); perr != nil && c.opt.Log != nil {
+				fmt.Fprintf(c.opt.Log, "coordinator: persisting %s: %v\n", sc.cell, perr)
+			}
+		}
+		c.mu.Lock()
+		sc.status = StatusDone
+		sc.rec = rec
+		c.completed.Add(1)
+		close(sc.done)
+		c.mu.Unlock()
+		if c.opt.Log != nil {
+			fmt.Fprintf(c.opt.Log, "coordinator: completed %s (worker %s)\n", sc.cell, req.WorkerID)
+		}
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+
+	sc.failures++
+	if transient && sc.failures < c.opt.Retry.Attempts() {
+		c.retries.Add(1)
+		sc.status = StatusPending
+		sc.notBefore = time.Now().Add(c.opt.Retry.Backoff(sc.failures))
+		c.queue = append(c.queue, sc)
+		c.broadcastLocked()
+		c.mu.Unlock()
+		if c.opt.Log != nil {
+			fmt.Fprintf(c.opt.Log, "coordinator: RETRY %s after transient failure %d (worker %s): %s\n",
+				sc.cell, sc.failures, req.WorkerID, errMsg)
+		}
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	c.failLocked(sc, errMsg)
+	c.mu.Unlock()
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleResult reports (optionally awaiting) one cell's outcome.
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		http.Error(w, "missing id", http.StatusBadRequest)
+		return
+	}
+	waitMS, _ := strconv.ParseInt(r.URL.Query().Get("wait_ms"), 10, 64)
+	wait := time.Duration(waitMS) * time.Millisecond
+	if wait > time.Minute {
+		wait = time.Minute
+	}
+	c.mu.Lock()
+	sc, ok := c.cells[id]
+	var done chan struct{}
+	if ok {
+		done = sc.done
+	}
+	c.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown cell (submit it first)", http.StatusNotFound)
+		return
+	}
+	if wait > 0 {
+		select {
+		case <-done:
+		case <-time.After(wait):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	c.mu.Lock()
+	resp := ResultResponse{
+		CellID:   id,
+		Status:   sc.status,
+		Attempts: sc.attempts,
+	}
+	if sc.status == StatusDone {
+		resp.Record = sc.rec
+	}
+	if sc.status == StatusFailed {
+		resp.Error = sc.errMsg
+	}
+	c.mu.Unlock()
+	stamp(&resp.SchemaVersion)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// Stats snapshots the coordinator's counters.
+func (c *Coordinator) Stats() StatsResponse {
+	c.mu.Lock()
+	depth, active, draining := len(c.queue), len(c.leases), c.draining
+	c.mu.Unlock()
+	resp := StatsResponse{
+		QueueDepth:    depth,
+		QueueCap:      c.opt.QueueCap,
+		ActiveLeases:  active,
+		Submitted:     c.submitted.Load(),
+		Completed:     c.completed.Load(),
+		Failed:        c.failed.Load(),
+		CacheHits:     c.cacheHits.Load(),
+		Retries:       c.retries.Load(),
+		Requeues:      c.requeues.Load(),
+		LeaseExpiries: c.leaseExpiries.Load(),
+		Rejected:      c.rejected.Load(),
+		Draining:      draining,
+	}
+	stamp(&resp.SchemaVersion)
+	return resp
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Stats())
+}

@@ -1,0 +1,189 @@
+// Package service lifts the campaign engine across a network boundary:
+// a stdlib-net/http coordinator schedules campaign cells onto a fleet of
+// worker processes with leases, a unified retry policy, backpressure,
+// and graceful degradation, serving results out of the same shared
+// content-addressed store the in-process engine uses — so a sweep
+// executed by a fleet is byte-identical to one executed serially, and a
+// worker lost mid-cell costs one lease timeout, never a wrong or
+// missing record.
+//
+// The protocol is deliberately minimal JSON-over-HTTP:
+//
+//	POST /api/v1/cells      submit cells (429 + Retry-After on overload)
+//	POST /api/v1/lease      claim a cell under a deadline (long-polls)
+//	POST /api/v1/heartbeat  extend a lease (410 Gone when it was lost)
+//	POST /api/v1/complete   deliver a record or a classified failure
+//	GET  /api/v1/result     fetch/await one cell's outcome
+//	GET  /api/v1/stats      queue depth, leases, retries, requeues
+//	GET  /healthz           liveness
+//
+// Safety rests on invariants the store already guarantees: records are
+// schema-versioned and content-addressed by deterministic cell IDs,
+// failures are never persisted, and writes are atomic — so re-dispatch
+// after any fault (lost worker, stale lease, corrupt completion) is
+// always safe, and overlapping sweeps from different clients dedup for
+// free.
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"largewindow/internal/campaign"
+	"largewindow/internal/schema"
+)
+
+// Wire paths of the coordinator API.
+const (
+	PathSubmit    = "/api/v1/cells"
+	PathLease     = "/api/v1/lease"
+	PathHeartbeat = "/api/v1/heartbeat"
+	PathComplete  = "/api/v1/complete"
+	PathResult    = "/api/v1/result"
+	PathStats     = "/api/v1/stats"
+	PathHealth    = "/healthz"
+)
+
+// SubmitRequest submits cells for execution. Submission is idempotent:
+// cells are deduplicated by content ID, so re-submitting a sweep (or two
+// clients submitting overlapping sweeps) never duplicates work.
+type SubmitRequest struct {
+	SchemaVersion int             `json:"schema_version"`
+	Cells         []campaign.Cell `json:"cells"`
+}
+
+// SubmitResponse acknowledges a submission.
+type SubmitResponse struct {
+	SchemaVersion int `json:"schema_version"`
+	// IDs are the content IDs of the submitted cells, in request order.
+	IDs []string `json:"ids"`
+	// Enqueued counts cells this request actually added to the queue
+	// (the rest were already known: queued, running, done, or served
+	// from the store).
+	Enqueued int `json:"enqueued"`
+}
+
+// LeaseRequest asks for one cell of work. The coordinator long-polls up
+// to WaitMS milliseconds before answering "no work" so an idle fleet
+// does not hammer the queue.
+type LeaseRequest struct {
+	SchemaVersion int    `json:"schema_version"`
+	WorkerID      string `json:"worker_id"`
+	WaitMS        int64  `json:"wait_ms,omitempty"`
+}
+
+// Lease is one dispatched cell: the work plus the deadline contract. The
+// worker must heartbeat before TTLMS elapses or the coordinator returns
+// the cell to the queue and the lease dies — a completion under a dead
+// lease is refused with 410 Gone.
+type Lease struct {
+	LeaseID string        `json:"lease_id"`
+	CellID  string        `json:"cell_id"`
+	Cell    campaign.Cell `json:"cell"`
+	// Attempt is 1 on first dispatch and grows with every requeue or
+	// retry, so workers can log re-dispatches visibly.
+	Attempt int   `json:"attempt"`
+	TTLMS   int64 `json:"ttl_ms"`
+}
+
+// LeaseResponse carries a lease, or none when the queue is dry. Draining
+// tells the worker the coordinator is shutting down and no further work
+// will ever arrive.
+type LeaseResponse struct {
+	SchemaVersion int    `json:"schema_version"`
+	Lease         *Lease `json:"lease,omitempty"`
+	Draining      bool   `json:"draining,omitempty"`
+}
+
+// HeartbeatRequest extends a lease's deadline.
+type HeartbeatRequest struct {
+	SchemaVersion int    `json:"schema_version"`
+	WorkerID      string `json:"worker_id"`
+	LeaseID       string `json:"lease_id"`
+}
+
+// CompleteRequest delivers one leased cell's outcome: a record on
+// success, or an error string plus the worker's transient/permanent
+// classification on failure (the coordinator's retry policy decides
+// whether a transient failure is re-dispatched).
+type CompleteRequest struct {
+	SchemaVersion int              `json:"schema_version"`
+	WorkerID      string           `json:"worker_id"`
+	LeaseID       string           `json:"lease_id"`
+	Record        *campaign.Record `json:"record,omitempty"`
+	Error         string           `json:"error,omitempty"`
+	Transient     bool             `json:"transient,omitempty"`
+}
+
+// Cell lifecycle states reported by ResultResponse.Status.
+const (
+	StatusPending = "pending" // queued (or backing off before a retry)
+	StatusRunning = "running" // leased to a worker
+	StatusDone    = "done"    // record available
+	StatusFailed  = "failed"  // permanently failed (retry budget exhausted)
+)
+
+// ResultResponse reports one cell's current outcome.
+type ResultResponse struct {
+	SchemaVersion int              `json:"schema_version"`
+	CellID        string           `json:"cell_id"`
+	Status        string           `json:"status"`
+	Record        *campaign.Record `json:"record,omitempty"`
+	Error         string           `json:"error,omitempty"`
+	// Attempts counts dispatches of this cell so far (re-dispatch after
+	// lost workers and transient failures included).
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// StatsResponse is the coordinator's point-in-time health snapshot,
+// mirroring its telemetry counters.
+type StatsResponse struct {
+	SchemaVersion int    `json:"schema_version"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCap      int    `json:"queue_cap"`
+	ActiveLeases  int    `json:"active_leases"`
+	Submitted     uint64 `json:"submitted"`
+	Completed     uint64 `json:"completed"`
+	Failed        uint64 `json:"failed"`
+	CacheHits     uint64 `json:"cache_hits"`
+	Retries       uint64 `json:"retries"`        // re-dispatches after classified-transient failures
+	Requeues      uint64 `json:"requeues"`       // cells returned to the queue by lease expiry
+	LeaseExpiries uint64 `json:"lease_expiries"` // leases reaped (== lost/hung workers observed)
+	Rejected      uint64 `json:"rejected"`       // submissions bounced by backpressure
+	Draining      bool   `json:"draining"`
+}
+
+// stamp fills the schema version of an outgoing body.
+func stamp(v *int) { *v = schema.ServiceVersion }
+
+// checkVersion validates an incoming body's version.
+func checkVersion(got int, what string) error {
+	return schema.Check(got, schema.ServiceVersion, what)
+}
+
+// RemoteError is a classified failure returned by the client tier.
+// Transport faults and backpressure are transient (the campaign engine's
+// retry policy may re-dispatch); a failure the coordinator itself
+// reported as permanent is not.
+type RemoteError struct {
+	Op        string
+	Err       error
+	Transient bool
+}
+
+func (e *RemoteError) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("service: %s: %v (%s)", e.Op, e.Err, kind)
+}
+
+func (e *RemoteError) Unwrap() error { return e.Err }
+
+// IsTransient classifies client-tier errors for campaign.RetryPolicy:
+// true exactly for RemoteErrors marked transient.
+func IsTransient(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Transient
+}

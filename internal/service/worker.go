@@ -1,0 +1,314 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"largewindow/internal/campaign"
+)
+
+// WorkerOptions configures one worker process (or goroutine).
+type WorkerOptions struct {
+	// Server is the coordinator base URL (http://host:port).
+	Server string
+	// ID names the worker in coordinator logs ("" = host-pid).
+	ID string
+	// Exec executes one cell. Service workers mount harness
+	// Session.ExecCell here; tests mount whatever chaos they need.
+	Exec campaign.ExecFunc
+	// Classify reports whether an execution error is transient — worth
+	// the coordinator re-dispatching the cell (harness.Transient for real
+	// workers). nil classifies every failure permanent.
+	Classify func(error) bool
+	// PollWait is the long-poll budget per lease request when the queue
+	// is dry (<= 0: 2s).
+	PollWait time.Duration
+	// Log receives lease/completion lines (nil = quiet).
+	Log io.Writer
+	// HTTPClient overrides the transport (tests).
+	HTTPClient *http.Client
+}
+
+// Worker pulls leased cells from a coordinator and executes them. Its
+// failure contract is deliberately simple: it heartbeats while a cell
+// runs, reports the outcome under the lease, and lets the coordinator
+// own every scheduling decision — a worker that dies, hangs, or lies is
+// discovered by lease expiry or completion validation, never trusted.
+type Worker struct {
+	opt WorkerOptions
+	hc  *http.Client
+
+	killOnce sync.Once
+	killed   chan struct{} // chaos: abandon everything, immediately
+
+	cellsDone atomic.Uint64
+}
+
+// NewWorker builds a worker.
+func NewWorker(opt WorkerOptions) *Worker {
+	if opt.ID == "" {
+		host, _ := os.Hostname()
+		opt.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if opt.PollWait <= 0 {
+		opt.PollWait = 2 * time.Second
+	}
+	hc := opt.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 2 * time.Minute}
+	}
+	return &Worker{opt: opt, hc: hc, killed: make(chan struct{})}
+}
+
+// ID returns the worker's name.
+func (w *Worker) ID() string { return w.opt.ID }
+
+// CellsDone counts completions this worker delivered.
+func (w *Worker) CellsDone() uint64 { return w.cellsDone.Load() }
+
+// Kill abandons the worker instantly — no completion, no further
+// heartbeat, in-flight execution orphaned. It exists for the chaos
+// harness (and is exactly what SIGKILL does to a worker process): the
+// coordinator must recover via lease expiry alone.
+func (w *Worker) Kill() {
+	w.killOnce.Do(func() { close(w.killed) })
+}
+
+// Run is the worker loop: lease, execute (heartbeating), complete,
+// repeat. Cancelling ctx is the graceful path — an in-flight cell runs
+// to completion and is delivered before Run returns. Run also returns
+// when the coordinator reports it is draining, or on Kill.
+func (w *Worker) Run(ctx context.Context) error {
+	backoff := 50 * time.Millisecond
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-w.killed:
+			return nil
+		default:
+		}
+		resp, err := w.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			if w.opt.Log != nil {
+				fmt.Fprintf(w.opt.Log, "worker %s: lease: %v (retrying in %s)\n", w.opt.ID, err, backoff)
+			}
+			if !w.sleep(ctx, backoff) {
+				return nil
+			}
+			if backoff *= 2; backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			continue
+		}
+		backoff = 50 * time.Millisecond
+		if resp.Draining {
+			if w.opt.Log != nil {
+				fmt.Fprintf(w.opt.Log, "worker %s: coordinator draining, exiting\n", w.opt.ID)
+			}
+			return nil
+		}
+		if resp.Lease == nil {
+			continue // long-poll expired dry; ask again
+		}
+		w.runLease(resp.Lease)
+	}
+}
+
+// sleep waits d unless the worker is cancelled or killed first.
+func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	case <-w.killed:
+		return false
+	}
+}
+
+// runLease executes one leased cell while heartbeating, then delivers
+// the outcome. Execution runs on its own goroutine so a Kill abandons it
+// mid-flight — exactly the orphaned-work shape a crashed process leaves.
+func (w *Worker) runLease(ls *Lease) {
+	type outcome struct {
+		rec *campaign.Record
+		err error
+	}
+	execDone := make(chan outcome, 1)
+	go func() {
+		rec, err := w.execIsolated(ls.Cell)
+		execDone <- outcome{rec, err}
+	}()
+	ttl := time.Duration(ls.TTLMS) * time.Millisecond
+	hbEvery := ttl / 3
+	if hbEvery < 10*time.Millisecond {
+		hbEvery = 10 * time.Millisecond
+	}
+	hb := time.NewTicker(hbEvery)
+	defer hb.Stop()
+	lost := false
+	for {
+		select {
+		case out := <-execDone:
+			if lost {
+				if w.opt.Log != nil {
+					fmt.Fprintf(w.opt.Log, "worker %s: lease %s lost, discarding %s\n", w.opt.ID, ls.LeaseID, ls.Cell)
+				}
+				return
+			}
+			w.complete(ls, out.rec, out.err)
+			return
+		case <-hb.C:
+			if lost {
+				continue
+			}
+			if gone, err := w.heartbeat(ls); gone {
+				// The reaper requeued the cell; our eventual result would
+				// be refused with 410. Let the execution finish (it cannot
+				// be interrupted) but drop it.
+				lost = true
+			} else if err != nil && w.opt.Log != nil {
+				fmt.Fprintf(w.opt.Log, "worker %s: heartbeat %s: %v\n", w.opt.ID, ls.LeaseID, err)
+			}
+		case <-w.killed:
+			return
+		}
+	}
+}
+
+// execIsolated shields the worker loop from a panicking executor.
+func (w *Worker) execIsolated(cell campaign.Cell) (rec *campaign.Record, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rec, err = nil, fmt.Errorf("worker: panic executing %s: %v", cell, r)
+		}
+	}()
+	return w.opt.Exec(cell)
+}
+
+// complete delivers one outcome, retrying transport errors — the result
+// embodies real simulation time and is worth fighting for. A 410 means
+// the lease died while we computed; the coordinator has already
+// re-dispatched the cell, so the result is dropped.
+func (w *Worker) complete(ls *Lease, rec *campaign.Record, execErr error) {
+	req := CompleteRequest{
+		WorkerID: w.opt.ID,
+		LeaseID:  ls.LeaseID,
+	}
+	if execErr != nil {
+		req.Error = execErr.Error()
+		req.Transient = w.opt.Classify != nil && w.opt.Classify(execErr)
+	} else {
+		rec.CellID = ls.CellID
+		req.Record = rec
+	}
+	stamp(&req.SchemaVersion)
+	backoff := 100 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		code, err := w.post(PathComplete, &req, nil)
+		switch {
+		case err == nil && code == http.StatusOK:
+			w.cellsDone.Add(1)
+			if w.opt.Log != nil {
+				verdict := "ok"
+				if execErr != nil {
+					verdict = "failed: " + execErr.Error()
+				}
+				fmt.Fprintf(w.opt.Log, "worker %s: completed %s (%s)\n", w.opt.ID, ls.Cell, verdict)
+			}
+			return
+		case err == nil && code == http.StatusGone:
+			if w.opt.Log != nil {
+				fmt.Fprintf(w.opt.Log, "worker %s: completion for %s refused (lease lost)\n", w.opt.ID, ls.Cell)
+			}
+			return
+		case err == nil:
+			if w.opt.Log != nil {
+				fmt.Fprintf(w.opt.Log, "worker %s: completion for %s rejected: HTTP %d\n", w.opt.ID, ls.Cell, code)
+			}
+			return
+		}
+		if attempt >= 5 {
+			if w.opt.Log != nil {
+				fmt.Fprintf(w.opt.Log, "worker %s: giving up delivering %s: %v\n", w.opt.ID, ls.Cell, err)
+			}
+			return
+		}
+		select {
+		case <-time.After(backoff):
+		case <-w.killed:
+			return
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// lease asks the coordinator for work, long-polling.
+func (w *Worker) lease(ctx context.Context) (*LeaseResponse, error) {
+	req := LeaseRequest{WorkerID: w.opt.ID, WaitMS: w.opt.PollWait.Milliseconds()}
+	stamp(&req.SchemaVersion)
+	var resp LeaseResponse
+	code, err := w.postCtx(ctx, PathLease, &req, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("lease: HTTP %d", code)
+	}
+	return &resp, nil
+}
+
+// heartbeat extends the lease; gone=true means the coordinator no longer
+// recognizes it.
+func (w *Worker) heartbeat(ls *Lease) (gone bool, err error) {
+	req := HeartbeatRequest{WorkerID: w.opt.ID, LeaseID: ls.LeaseID}
+	stamp(&req.SchemaVersion)
+	code, err := w.post(PathHeartbeat, &req, nil)
+	if err != nil {
+		return false, err
+	}
+	return code == http.StatusGone, nil
+}
+
+func (w *Worker) post(path string, body, out any) (int, error) {
+	return w.postCtx(context.Background(), path, body, out)
+}
+
+func (w *Worker) postCtx(ctx context.Context, path string, body, out any) (int, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.opt.Server+path, bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	} else {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	}
+	return resp.StatusCode, nil
+}

@@ -60,6 +60,76 @@ fi
 rm -rf "$campdir"
 echo "  resume: 0 cells recomputed, tables identical"
 
+echo "== campaign service tests (race) =="
+# Lease expiry, zombie 410s, backpressure, drain, corrupt-completion
+# rejection, and the in-process chaos sweep — all race-enabled.
+go test -race -count=1 ./internal/service/
+
+echo "== distributed campaign chaos gate =="
+# The service's acceptance bar (DESIGN.md §10): the same sweep run
+# serially and on a coordinator + 3 workers — one of them kill -9'd
+# mid-campaign — must complete, produce a byte-identical record store,
+# and resuming from the fleet's store must re-execute ZERO cells.
+svcdir="$(mktemp -d)"
+go build -o "$svcdir/bin/" ./cmd/experiments ./cmd/wibserve ./cmd/wibworker
+"$svcdir/bin/experiments" -run fig4 -bench gzip,art,treeadd -scale test \
+    -instr 500000 -parallel 4 -cache-dir "$svcdir/serial" -progress=false \
+    >"$svcdir/serial.out" 2>"$svcdir/serial.err"
+"$svcdir/bin/wibserve" -addr 127.0.0.1:0 -cache-dir "$svcdir/dist" \
+    -lease-ttl 2s >"$svcdir/serve.out" 2>"$svcdir/serve.err" &
+servepid=$!
+i=0
+while [ $i -lt 100 ] && ! grep -q 'listening on' "$svcdir/serve.out" 2>/dev/null; do
+    sleep 0.1; i=$((i+1))
+done
+url="http://$(sed -n 's/^wibserve listening on //p' "$svcdir/serve.out")"
+wpids=""
+for i in 1 2 3; do
+    "$svcdir/bin/wibworker" -server "$url" -id "chaos-$i" -parallel 2 \
+        >"$svcdir/w$i.err" 2>&1 &
+    wpids="$wpids $!"
+done
+victim=$(echo $wpids | awk '{print $1}')
+timeout 300 "$svcdir/bin/experiments" -server "$url" -run fig4 \
+    -bench gzip,art,treeadd -scale test -instr 500000 -parallel 4 \
+    -cache-dir "$svcdir/client" -progress=false \
+    >"$svcdir/dist.out" 2>"$svcdir/dist.err" &
+exppid=$!
+sleep 1
+kill -9 "$victim" 2>/dev/null || true
+if ! wait $exppid; then
+    echo "FAIL: distributed sweep did not survive a killed worker:"
+    cat "$svcdir/dist.err"
+    kill $servepid $wpids 2>/dev/null || true
+    rm -rf "$svcdir"
+    exit 1
+fi
+kill -TERM $servepid $wpids 2>/dev/null || true
+for p in $wpids $servepid; do wait $p 2>/dev/null || true; done
+if ! diff -r "$svcdir/serial/ca" "$svcdir/dist/ca" >/dev/null || \
+   ! diff -r "$svcdir/serial/ca" "$svcdir/client/ca" >/dev/null; then
+    echo "FAIL: fleet record stores differ from the serial run"
+    rm -rf "$svcdir"
+    exit 1
+fi
+if ! diff -u "$svcdir/serial.out" "$svcdir/dist.out"; then
+    echo "FAIL: fleet-rendered tables differ from the serial run"
+    rm -rf "$svcdir"
+    exit 1
+fi
+"$svcdir/bin/experiments" -run fig4 -bench gzip,art,treeadd -scale test \
+    -instr 500000 -parallel 4 -cache-dir "$svcdir/dist" -resume -progress=false \
+    >"$svcdir/resume.out" 2>"$svcdir/resume.err"
+if ! grep -q ' 0 executed' "$svcdir/resume.err"; then
+    echo "FAIL: resume from the fleet's store recomputed cells:"
+    cat "$svcdir/resume.err"
+    rm -rf "$svcdir"
+    exit 1
+fi
+sed -n 's/^coordinator:/  coordinator:/p' "$svcdir/dist.err" || true
+rm -rf "$svcdir"
+echo "  chaos: sweep survived a kill -9'd worker, stores byte-identical, 0 cells recomputed on resume"
+
 echo "== checkpointed fast-forward smoke (shared checkpoints + determinism) =="
 # A fig4 sweep (4 configs x 2 benchmarks) with a functional skip must
 # build exactly ONE checkpoint per benchmark and share it across every
