@@ -7,7 +7,7 @@
 //	experiments [-run fig1,table2,fig4,fig5,fig6,policy,fig7,sens|all]
 //	            [-instr N] [-skip N] [-bench a,b,c] [-scale test|run|full] [-v]
 //	            [-parallel N] [-cache-dir dir] [-resume] [-retries N]
-//	            [-server http://host:8420]
+//	            [-server http://host:8420] [-watch]
 //	            [-deadline 2m] [-crash-dump dir]
 //	            [-telemetry-dir dir] [-sample-interval N] [-pprof cpu.prof]
 //
@@ -32,7 +32,9 @@
 // progress line, memoization, and -cache-dir store — the sweep's records
 // are byte-identical either way. Local-execution flags (-skip
 // checkpointing happens fleet-side per cell, -telemetry-dir, -deadline)
-// do not apply to remote cells.
+// do not apply to remote cells. -watch swaps the local progress line for
+// the coordinator's live event stream, rendered as a one-line fleet
+// dashboard (done/failed/running, queue depth, fleet instrs/s, ETA).
 package main
 
 import (
@@ -69,6 +71,7 @@ func main() {
 		retries  = flag.Int("retries", 0, "attempts per cell across transient failures (0 = 2: run plus one retry)")
 		server   = flag.String("server", "", "execute cells on a wibserve coordinator at this base URL instead of in-process")
 		progFlag = flag.Bool("progress", true, "live campaign progress line (auto-disabled when stderr is not a terminal)")
+		watch    = flag.Bool("watch", false, "render the coordinator's live event stream as a fleet dashboard (needs -server)")
 
 		deadline  = flag.Duration("deadline", 0, "wall-clock limit per simulation (0 = none)")
 		crashDump = flag.String("crash-dump", "", "directory for per-failure JSON crash dumps")
@@ -136,6 +139,10 @@ func main() {
 	opt.Log = logw
 	opt.Retry.MaxAttempts = *retries
 
+	if *watch && *server == "" {
+		fmt.Fprintln(os.Stderr, "-watch needs -server (the event stream lives on the coordinator)")
+		os.Exit(2)
+	}
 	var remote *service.Client
 	if *server != "" {
 		remote = service.NewClient(service.ClientOptions{Server: *server, Log: logw})
@@ -166,14 +173,22 @@ func main() {
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "campaign: primed %d cells onto %d workers\n", expected, workers)
 	}
+	// -watch replaces the local progress line with the coordinator's
+	// fleet-wide view; two repainting lines would fight over the cursor.
+	var watcher *fleetWatch
 	var progress *campaign.Progress
-	if *progFlag && isTerminal(os.Stderr) {
+	if *watch {
+		watcher = watchFleet(*server)
+	} else if *progFlag && isTerminal(os.Stderr) {
 		progress = campaign.NewProgress(s.Campaign(), os.Stderr, 0, uint64(expected))
 	}
 
 	err := harness.RunExperiments(s, ids, os.Stdout)
 	if progress != nil {
 		progress.Stop()
+	}
+	if watcher != nil {
+		watcher.stop()
 	}
 	fmt.Fprintln(os.Stderr, s.Campaign().Snapshot().Summary())
 	if remote != nil {

@@ -1,13 +1,17 @@
 // Command wibserve runs the campaign coordinator: an HTTP service that
 // accepts campaign cells, leases them to wibworker processes, and owns
 // retries, lease-expiry recovery, backpressure, and result persistence
-// (DESIGN.md §10).
+// (DESIGN.md §10), with live fleet observability — Prometheus metrics at
+// /metrics, an SSE lifecycle-event stream at /api/v1/events, and
+// distributed span logging for `wibtrace -fleet` (DESIGN.md §11).
 //
 // Usage:
 //
 //	wibserve [-addr :8420] [-cache-dir dir] [-resume]
 //	         [-queue-cap N] [-lease-ttl 30s] [-max-requeues N]
-//	         [-retry-max N] [-retry-base 0s] [-drain-timeout 30s] [-v]
+//	         [-retry-max N] [-retry-base 0s] [-drain-timeout 30s]
+//	         [-events] [-span-log file] [-progress-interval 1s]
+//	         [-log-format text|json] [-pprof-addr addr] [-v]
 //
 // The coordinator is stateless beyond its in-memory queue: every finished
 // record persists atomically into the content-addressed store under
@@ -16,6 +20,11 @@
 // graceful drain: new submissions are refused (503), workers are told to
 // exit as they next ask for work, and in-flight leases get -drain-timeout
 // to deliver before the process exits.
+//
+// Observability defaults: the event stream is on (-events=false turns it
+// off along with the periodic progress broadcast); span logging is off
+// until -span-log names a file. /metrics is always served — scraping is
+// pull-based and costs nothing between scrapes.
 package main
 
 import (
@@ -24,30 +33,42 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"largewindow/internal/campaign"
+	"largewindow/internal/obs"
 	"largewindow/internal/service"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8420", "listen address (use :0 for an ephemeral port)")
-		cacheDir = flag.String("cache-dir", "", "content-addressed record store directory (required)")
-		resume   = flag.Bool("resume", false, "serve submitted cells already present in -cache-dir from disk")
-		queueCap = flag.Int("queue-cap", 0, "pending-queue bound; overflowing submissions get 429 (0 = 4096)")
-		leaseTTL = flag.Duration("lease-ttl", 0, "heartbeat deadline before a leased cell is requeued (0 = 30s)")
-		requeues = flag.Int("max-requeues", 0, "lease expiries before a cell fails permanently (0 = 5)")
-		retryMax = flag.Int("retry-max", 0, "attempts per cell across transient worker failures (0 = 2)")
-		retryBP  = flag.Duration("retry-base", 0, "base re-dispatch backoff, doubling per failure (0 = immediate)")
-		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight leases on shutdown")
-		verbose  = flag.Bool("v", false, "log dispatch, expiry, and rejection events")
+		addr      = flag.String("addr", ":8420", "listen address (use :0 for an ephemeral port)")
+		cacheDir  = flag.String("cache-dir", "", "content-addressed record store directory (required)")
+		resume    = flag.Bool("resume", false, "serve submitted cells already present in -cache-dir from disk")
+		queueCap  = flag.Int("queue-cap", 0, "pending-queue bound; overflowing submissions get 429 (0 = 4096)")
+		leaseTTL  = flag.Duration("lease-ttl", 0, "heartbeat deadline before a leased cell is requeued (0 = 30s)")
+		requeues  = flag.Int("max-requeues", 0, "lease expiries before a cell fails permanently (0 = 5)")
+		retryMax  = flag.Int("retry-max", 0, "attempts per cell across transient worker failures (0 = 2)")
+		retryBP   = flag.Duration("retry-base", 0, "base re-dispatch backoff, doubling per failure (0 = immediate)")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight leases on shutdown")
+		events    = flag.Bool("events", true, "serve the SSE lifecycle-event stream at /api/v1/events")
+		spanLog   = flag.String("span-log", "", "record fleet lifecycle spans to this JSONL file (for wibtrace -fleet)")
+		progEvery = flag.Duration("progress-interval", 0, "pace of progress events on the stream (0 = 1s)")
+		logFormat = flag.String("log-format", "text", "structured log encoding: text or json")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty)")
+		verbose   = flag.Bool("v", false, "log dispatch, expiry, and rejection events")
 	)
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *verbose)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wibserve: %v\n", err)
+		os.Exit(2)
+	}
 	if *cacheDir == "" {
 		fmt.Fprintln(os.Stderr, "wibserve: -cache-dir is required (completed records must persist somewhere)")
 		os.Exit(2)
@@ -68,12 +89,34 @@ func main() {
 			BaseDelay:   *retryBP,
 			Jitter:      0.2,
 		},
+		Log:              logger,
+		ProgressInterval: *progEvery,
 	}
-	if *verbose {
-		opt.Log = os.Stderr
+	if *events {
+		opt.Events = obs.NewBus()
+	}
+	var spanFile *os.File
+	if *spanLog != "" {
+		spanFile, err = os.Create(*spanLog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wibserve: span log: %v\n", err)
+			os.Exit(1)
+		}
+		opt.Spans = obs.NewSpanLog(spanFile)
 	}
 	coord := service.NewCoordinator(opt)
 	defer coord.Close()
+
+	if *pprofAddr != "" {
+		// pprof registers on DefaultServeMux at import; the API mux is
+		// custom, so profiling stays off the public port.
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Warn("pprof server exited", "error", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -81,6 +124,8 @@ func main() {
 		os.Exit(1)
 	}
 	srv := &http.Server{Handler: coord.Handler()}
+	// Stays on stdout, and stays first: recipes and the check harness
+	// scrape this line for the bound address.
 	fmt.Printf("wibserve listening on %s\n", ln.Addr())
 
 	serveErr := make(chan error, 1)
@@ -90,7 +135,7 @@ func main() {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "wibserve: %s, draining\n", sig)
+		logger.Info("signal received, draining", "signal", sig.String())
 	case err := <-serveErr:
 		fmt.Fprintf(os.Stderr, "wibserve: %v\n", err)
 		os.Exit(1)
@@ -99,9 +144,16 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 	defer cancel()
 	if err := coord.Drain(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "wibserve: drain: %v\n", err)
+		logger.Warn("drain incomplete", "error", err)
 	}
 	srv.Shutdown(ctx)
+	if spanFile != nil {
+		// Drain already flushed the span log's buffer; close the file so
+		// the last spans are durable before the exit status prints.
+		if err := spanFile.Close(); err != nil {
+			logger.Warn("closing span log", "error", err)
+		}
+	}
 	st := coord.Stats()
 	fmt.Fprintf(os.Stderr,
 		"wibserve: done — %d submitted, %d completed, %d failed, %d cache hits, %d retries, %d requeues, %d lease expiries\n",

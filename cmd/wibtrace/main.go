@@ -12,6 +12,13 @@
 // by `wibsim -telemetry/-trace-out/-kanata` or `experiments
 // -telemetry-dir`, sniffing the format (JSONL sample series, Chrome
 // trace-event JSON, or Kanata pipeline stream) from the file contents.
+//
+// With -fleet it stitches a distributed span log written by `wibserve
+// -span-log` (coordinator queued/leased/persisting spans merged with
+// every worker's attempt/executing spans, DESIGN.md §11) into one Chrome
+// trace: a process row per fleet hop, a thread row per cell, correlated
+// by the IDs minted at submit. Open the -o output in chrome://tracing or
+// ui.perfetto.dev; validate it with `wibtrace -render`.
 package main
 
 import (
@@ -19,11 +26,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"largewindow/internal/core"
 	"largewindow/internal/emu"
 	"largewindow/internal/isa"
+	"largewindow/internal/obs"
 	"largewindow/internal/telemetry"
 	"largewindow/internal/workload"
 )
@@ -37,11 +47,20 @@ func main() {
 		trace  = flag.Uint64("trace", 0, "print the first N executed instructions")
 		replay = flag.String("replay", "", "decode and print a JSON crash dump, then exit")
 		render = flag.String("render", "", "validate and summarize a telemetry/trace file, then exit")
+		fleet  = flag.String("fleet", "", "stitch a fleet span log (file or directory) into a Chrome trace, then exit")
+		out    = flag.String("o", "", "output path for -fleet (default: <input>.trace.json)")
 	)
 	flag.Parse()
 
 	if *replay != "" {
 		if err := replayDump(*replay); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fleet != "" {
+		if err := stitchFleet(*fleet, *out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -191,6 +210,79 @@ func renderArtifact(path string) error {
 		}
 		return nil
 	}
+}
+
+// stitchFleet reads one or more fleet span logs, prints a validation
+// summary (cells, spans per lifecycle stage, recording hops, correlation
+// consistency), and writes the stitched Chrome trace.
+func stitchFleet(path, out string) error {
+	var spans []obs.Span
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	files := []string{path}
+	if info.IsDir() {
+		files, err = filepath.Glob(filepath.Join(path, "*.jsonl"))
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return fmt.Errorf("wibtrace: no *.jsonl span logs under %s", path)
+		}
+		sort.Strings(files)
+	}
+	for _, f := range files {
+		r, err := os.Open(f)
+		if err != nil {
+			return err
+		}
+		got, err := obs.ReadSpans(r)
+		r.Close()
+		if err != nil {
+			return fmt.Errorf("wibtrace: %s: %w", f, err)
+		}
+		spans = append(spans, got...)
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("wibtrace: %s holds no spans (was the fleet traced? start wibserve with -span-log)", path)
+	}
+	sum := obs.StitchSummary(spans)
+	fmt.Printf("fleet span log    %s\n", path)
+	fmt.Printf("spans             %d across %d cells\n", sum.Spans, sum.Cells)
+	fmt.Printf("wall clock        %.3fs\n", float64(sum.LastUS-sum.FirstUS)/1e6)
+	fmt.Printf("hops              %s\n", strings.Join(sum.Sources, ", "))
+	var stages []string
+	for s := range sum.PerStage {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	for _, s := range stages {
+		fmt.Printf("  %-12s %d\n", s, sum.PerStage[s])
+	}
+	if sum.CorrMismatch > 0 {
+		fmt.Printf("WARNING           %d cells carry inconsistent correlation IDs\n", sum.CorrMismatch)
+	}
+	if out == "" {
+		out = path
+		if info.IsDir() {
+			out = filepath.Clean(path)
+		}
+		out += ".trace.json"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := obs.StitchChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("chrome trace      %s (open in chrome://tracing or ui.perfetto.dev)\n", out)
+	return nil
 }
 
 // firstLine returns data up to the first newline (format sniffing only).

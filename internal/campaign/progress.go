@@ -3,6 +3,7 @@ package campaign
 import (
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"time"
 )
@@ -52,15 +53,25 @@ func (p *Progress) loop() {
 
 // Line renders the current status line.
 func (p *Progress) Line() string {
-	s := p.eng.Snapshot()
+	return renderLine(p.eng.Snapshot(), p.expected)
+}
+
+// renderLine formats one snapshot as the progress line. It must render
+// sanely for every snapshot shape the engine can produce — campaign
+// start (nothing done, zero elapsed), all-cache-hit sweeps (zero
+// executed), zero counters — so every derived figure is guarded: rates
+// never show NaN/Inf/negative and degenerate ETAs are omitted.
+func renderLine(s Snapshot, expected uint64) string {
 	total := s.Total
-	if p.expected > total {
-		total = p.expected
+	if expected > total {
+		total = expected
 	}
-	secs := s.Elapsed.Seconds()
 	rate := 0.0
-	if secs > 0 {
+	if secs := s.Elapsed.Seconds(); secs > 0 {
 		rate = float64(s.Instrs) / secs
+	}
+	if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
+		rate = 0
 	}
 	line := fmt.Sprintf("campaign %d/%d cells", s.Done, total)
 	if s.CacheHits > 0 {
@@ -76,22 +87,25 @@ func (p *Progress) Line() string {
 		line += fmt.Sprintf(" · ckpt %d built/%d reused", s.CkptBuilt, s.CkptReused)
 	}
 	line += fmt.Sprintf(" · %s instrs/s", siFormat(rate))
-	if eta, ok := p.eta(s, total); ok {
+	if eta, ok := renderETA(s, total); ok {
 		line += " · ETA " + eta
 	}
 	return line
 }
 
-// eta extrapolates remaining wall time from executed cells only — cache
-// hits are free and must not skew the per-cell cost estimate.
-func (p *Progress) eta(s Snapshot, total uint64) (string, bool) {
+// renderETA extrapolates remaining wall time from executed cells only —
+// cache hits are free and must not skew the per-cell cost estimate. ok
+// is false whenever no sane estimate exists: nothing finished yet,
+// nothing left, an all-cache-hit sweep, zero elapsed time, or an
+// extrapolation too large to be worth printing.
+func renderETA(s Snapshot, total uint64) (string, bool) {
 	finished := s.Done
-	if finished == 0 || finished >= total || s.Executed == 0 {
+	if finished == 0 || finished >= total || s.Executed == 0 || s.Elapsed <= 0 {
 		return "", false
 	}
 	perCell := s.Elapsed / time.Duration(s.Executed)
 	remain := perCell * time.Duration(total-finished)
-	if remain > time.Hour*99 {
+	if remain < 0 || remain > time.Hour*99 {
 		return "", false
 	}
 	return fmtDuration(remain), true

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+
+	"largewindow/internal/schema"
+)
+
+func TestBusDeliveryAndStamping(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(8)
+	defer b.Unsubscribe(sub)
+
+	b.Publish(Event{Type: EventSubmit, CellID: "c1"})
+	b.Publish(Event{Type: EventLease, CellID: "c1"})
+
+	ev := <-sub.Events()
+	if ev.Type != EventSubmit || ev.CellID != "c1" {
+		t.Fatalf("first event = %+v", ev)
+	}
+	if ev.SchemaVersion != schema.EventVersion {
+		t.Fatalf("schema version %d, want %d", ev.SchemaVersion, schema.EventVersion)
+	}
+	if ev.Seq == 0 || ev.TimeUS == 0 {
+		t.Fatalf("event not stamped: seq=%d time_us=%d", ev.Seq, ev.TimeUS)
+	}
+	ev2 := <-sub.Events()
+	if ev2.Seq != ev.Seq+1 {
+		t.Fatalf("sequence not monotone: %d then %d", ev.Seq, ev2.Seq)
+	}
+	if got := b.Published(); got != 2 {
+		t.Fatalf("Published() = %d, want 2", got)
+	}
+}
+
+func TestNilBusIsDisabled(t *testing.T) {
+	var b *Bus
+	b.Publish(Event{Type: EventSubmit}) // must not panic
+	if b.Published() != 0 || b.Dropped() != 0 || b.Subscribers() != 0 {
+		t.Fatal("nil bus reported nonzero activity")
+	}
+}
+
+func TestZeroValueBusSubscribes(t *testing.T) {
+	var b Bus
+	sub := b.Subscribe(1)
+	b.Publish(Event{Type: EventComplete})
+	if ev := <-sub.Events(); ev.Type != EventComplete {
+		t.Fatalf("zero-value bus delivered %+v", ev)
+	}
+	b.Unsubscribe(sub)
+}
+
+// TestBusSlowSubscriberDrops proves the publisher never blocks: a full
+// subscriber buffer drops events, counts them, and surfaces the count
+// through TakeDropped exactly once.
+func TestBusSlowSubscriberDrops(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(2) // tiny buffer, never drained during publish
+	defer b.Unsubscribe(sub)
+
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{Type: EventHeartbeat})
+	}
+	if got := b.Dropped(); got != 8 {
+		t.Fatalf("bus dropped %d, want 8", got)
+	}
+	if got := sub.TakeDropped(); got != 8 {
+		t.Fatalf("TakeDropped() = %d, want 8", got)
+	}
+	if got := sub.TakeDropped(); got != 0 {
+		t.Fatalf("second TakeDropped() = %d, want 0 (must reset)", got)
+	}
+	// The two buffered events are still deliverable.
+	<-sub.Events()
+	<-sub.Events()
+}
+
+func TestBusUnsubscribeClosesChannel(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(0)
+	b.Unsubscribe(sub)
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("channel still open after Unsubscribe")
+	}
+	b.Unsubscribe(sub) // second call must be a safe no-op
+	b.Publish(Event{Type: EventSubmit})
+}
+
+// TestBusConcurrentChurn hammers publish against subscribe/unsubscribe
+// churn; run under -race this is the regression net for the lock
+// discipline around the subscriber set.
+func TestBusConcurrentChurn(t *testing.T) {
+	b := NewBus()
+	stop := make(chan struct{})
+	var pubs, churners sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		pubs.Add(1)
+		go func() {
+			defer pubs.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					b.Publish(Event{Type: EventHeartbeat})
+					b.Subscribers() // exercise the read path too
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		churners.Add(1)
+		go func() {
+			defer churners.Done()
+			for i := 0; i < 200; i++ {
+				sub := b.Subscribe(4)
+				for j := 0; j < 3; j++ {
+					select {
+					case <-sub.Events():
+					default:
+					}
+				}
+				b.Unsubscribe(sub)
+			}
+		}()
+	}
+	churners.Wait()
+	close(stop)
+	pubs.Wait()
+	if b.Subscribers() != 0 {
+		t.Fatalf("%d subscribers leaked", b.Subscribers())
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"largewindow/internal/telemetry"
+)
+
+// MetricName sanitizes a registry name ("service.cells.submitted") into
+// the Prometheus exposition alphabet: runs of characters outside
+// [a-zA-Z0-9_:] become single underscores, and a leading digit is
+// prefixed.
+func MetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	prevUnder := false
+	for _, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if ok {
+			if b.Len() == 0 && r >= '0' && r <= '9' {
+				b.WriteByte('_') // exposition names cannot start with a digit
+			}
+			b.WriteRune(r)
+			prevUnder = r == '_'
+			continue
+		}
+		if !prevUnder {
+			b.WriteByte('_')
+			prevUnder = true
+		}
+	}
+	return b.String()
+}
+
+// WriteMetrics renders every metric of every registry in Prometheus
+// text exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative _bucket/_sum/_count families.
+// Non-finite gauge values are dropped — a scrape must always parse.
+func WriteMetrics(w io.Writer, regs ...*telemetry.Registry) error {
+	bw := bufio.NewWriter(w)
+	seen := make(map[string]bool)
+	for _, reg := range regs {
+		if reg == nil {
+			continue
+		}
+		for _, p := range reg.Points(0) {
+			name := MetricName(p.Name)
+			if seen[name] {
+				continue // first registration wins across registries
+			}
+			seen[name] = true
+			switch p.Kind {
+			case telemetry.KindCounter:
+				fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, p.Counter)
+			case telemetry.KindGauge:
+				if math.IsNaN(p.Gauge) || math.IsInf(p.Gauge, 0) {
+					continue
+				}
+				fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", name, name, formatFloat(p.Gauge))
+			case telemetry.KindHistogram:
+				fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+				cum := uint64(0)
+				for i, bound := range p.Hist.Bounds {
+					cum += p.Hist.Counts[i]
+					fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum)
+				}
+				fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, p.Hist.Count)
+				fmt.Fprintf(bw, "%s_sum %s\n", name, formatFloat(p.Hist.Sum))
+				fmt.Fprintf(bw, "%s_count %d\n", name, p.Hist.Count)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// MetricsHandler serves GET /metrics over the given registries. The
+// registries' counter functions and gauges are read at scrape time, so
+// they must be safe to call concurrently (atomic- or mutex-backed, as
+// the service tier's are).
+func MetricsHandler(regs ...*telemetry.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteMetrics(w, regs...)
+	})
+}
+
+// ReadMetrics parses Prometheus text exposition into sample values by
+// name (labels kept verbatim in the key: `hb_bucket{le="5"}`). It is
+// the validation path of the /metrics smoke gates, deliberately strict:
+// any non-comment line that does not parse as `name value` fails.
+func ReadMetrics(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return nil, fmt.Errorf("obs: metrics line %d: %q is not `name value`", lineNo, line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: metrics line %d: bad value: %w", lineNo, err)
+		}
+		out[line[:sp]] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

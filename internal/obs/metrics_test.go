@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"largewindow/internal/telemetry"
+)
+
+func TestMetricName(t *testing.T) {
+	cases := map[string]string{
+		"service.cells.submitted": "service_cells_submitted",
+		"wib.occupancy":           "wib_occupancy",
+		"already_fine:total":      "already_fine:total",
+		"weird--name..x":          "weird_name_x",
+		"9lives":                  "_9lives",
+	}
+	for in, want := range cases {
+		if got := MetricName(in); got != want {
+			t.Errorf("MetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriteMetricsRoundTrip(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var done atomic.Uint64
+	done.Store(42)
+	reg.CounterFunc("svc.cells.done", done.Load)
+	reg.Gauge("svc.queue.depth", func(int64) float64 { return 7 })
+	h := reg.Histogram("svc.latency.us", 10, 100, 1000)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE svc_cells_done counter",
+		"svc_cells_done 42",
+		"# TYPE svc_queue_depth gauge",
+		"svc_queue_depth 7",
+		"# TYPE svc_latency_us histogram",
+		`svc_latency_us_bucket{le="10"} 1`,
+		`svc_latency_us_bucket{le="100"} 2`,
+		`svc_latency_us_bucket{le="+Inf"} 3`,
+		"svc_latency_us_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	vals, err := ReadMetrics(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("own exposition does not re-parse: %v", err)
+	}
+	if vals["svc_cells_done"] != 42 {
+		t.Errorf("parsed svc_cells_done = %v", vals["svc_cells_done"])
+	}
+	if vals["svc_queue_depth"] != 7 {
+		t.Errorf("parsed svc_queue_depth = %v", vals["svc_queue_depth"])
+	}
+	if vals[`svc_latency_us_bucket{le="+Inf"}`] != 3 {
+		t.Errorf("parsed +Inf bucket = %v", vals[`svc_latency_us_bucket{le="+Inf"}`])
+	}
+}
+
+func TestWriteMetricsSkipsNonFiniteGauges(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Gauge("bad.nan", func(int64) float64 { return nan() })
+	reg.Gauge("good", func(int64) float64 { return 1 })
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatalf("non-finite gauge leaked into exposition:\n%s", buf.String())
+	}
+	if _, err := ReadMetrics(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("exposition with skipped gauge does not parse: %v", err)
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestMetricsHandlerMergesRegistries(t *testing.T) {
+	a := telemetry.NewRegistry()
+	var x atomic.Uint64
+	x.Store(1)
+	a.CounterFunc("shared.name", x.Load)
+	a.CounterFunc("only.a", x.Load)
+	b := telemetry.NewRegistry()
+	var y atomic.Uint64
+	y.Store(99)
+	b.CounterFunc("shared.name", y.Load) // loses: first registration wins
+	b.CounterFunc("only.b", y.Load)
+
+	rr := httptest.NewRecorder()
+	MetricsHandler(a, b, nil).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	vals, err := ReadMetrics(rr.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["shared_name"] != 1 {
+		t.Errorf("shared_name = %v, want first registry's 1", vals["shared_name"])
+	}
+	if vals["only_a"] != 1 || vals["only_b"] != 99 {
+		t.Errorf("merge lost a metric: %v", vals)
+	}
+}

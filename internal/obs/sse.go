@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"largewindow/internal/schema"
+)
+
+// sseKeepAlive is how often an idle SSE connection emits a comment line
+// so intermediaries do not reap it.
+const sseKeepAlive = 15 * time.Second
+
+// SSEHandler serves bus as a Server-Sent-Events stream: one `data:`
+// line of Event JSON per event, `id:` carrying the bus sequence number.
+// Every subscriber gets its own bounded buffer; a client too slow to
+// drain it loses events and is told so with a gap event carrying the
+// dropped count — the stream never applies backpressure to the
+// coordinator. A nil bus answers 503 (events disabled).
+func SSEHandler(bus *Bus) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if bus == nil {
+			http.Error(w, "event streaming disabled", http.StatusServiceUnavailable)
+			return
+		}
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Header().Set("Connection", "keep-alive")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+
+		sub := bus.Subscribe(0)
+		defer bus.Unsubscribe(sub)
+		keep := time.NewTicker(sseKeepAlive)
+		defer keep.Stop()
+
+		write := func(ev Event) bool {
+			data, err := json.Marshal(&ev)
+			if err != nil {
+				return false
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.Seq, data); err != nil {
+				return false
+			}
+			fl.Flush()
+			return true
+		}
+		for {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-keep.C:
+				if _, err := io.WriteString(w, ": keep-alive\n\n"); err != nil {
+					return
+				}
+				fl.Flush()
+			case ev, ok := <-sub.ch:
+				if !ok {
+					return
+				}
+				// Slow-client drop protection: confess the gap before
+				// the next real event so consumers never mistake a
+				// thinned stream for a complete one.
+				if n := sub.TakeDropped(); n > 0 {
+					gap := Event{
+						SchemaVersion: schema.EventVersion,
+						Seq:           ev.Seq, // gap ends where this event begins
+						TimeUS:        time.Now().UnixMicro(),
+						Type:          EventGap,
+						Dropped:       n,
+					}
+					if !write(gap) {
+						return
+					}
+				}
+				if !write(ev) {
+					return
+				}
+			}
+		}
+	})
+}
+
+// StreamEvents subscribes to an SSE event stream at url and calls fn
+// for every decoded event until ctx is cancelled, the stream closes, or
+// fn returns an error (which is returned). Events stamped with a newer
+// schema version than this reader understands abort the stream.
+func StreamEvents(ctx context.Context, hc *http.Client, url string, fn func(Event) error) error {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("obs: events: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Text()
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue // id:, comments, blank separators
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			return fmt.Errorf("obs: bad event: %w", err)
+		}
+		if err := schema.Check(ev.SchemaVersion, schema.EventVersion, "event stream"); err != nil {
+			return err
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}

@@ -34,6 +34,14 @@ const (
 	// coordinator rejects requests stamped with a newer version than it
 	// understands instead of misreading them.
 	ServiceVersion = 1
+	// EventVersion covers the coordinator's SSE lifecycle-event stream
+	// (internal/obs): every event carries it inline so dashboard clients
+	// can refuse streams newer than they understand.
+	EventVersion = 1
+	// SpanVersion covers fleet span logs (internal/obs): the JSONL files
+	// `wibserve -span-log` writes and `wibtrace -fleet` stitches into a
+	// Chrome trace.
+	SpanVersion = 1
 )
 
 // Header is the leading line of stream-shaped artifacts (telemetry JSONL)

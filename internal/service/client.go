@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"largewindow/internal/campaign"
+	"largewindow/internal/obs"
 )
 
 // ClientOptions configures a coordinator client.
@@ -98,11 +99,14 @@ func (c *Client) Exec(cell campaign.Cell) (*campaign.Record, error) {
 
 // Submit registers cells, honoring backpressure: a 429 waits out the
 // coordinator's Retry-After and tries again under the transport budget.
+// Each submission mints a correlation ID (body + obs.CorrHeader) so the
+// coordinator can stitch this batch's lifecycle across the fleet; the
+// ID is ignored at zero cost when fleet tracing is disabled.
 func (c *Client) Submit(cells []campaign.Cell) (*SubmitResponse, error) {
-	req := SubmitRequest{Cells: cells}
+	req := SubmitRequest{Cells: cells, CorrID: obs.NewCorrID()}
 	stamp(&req.SchemaVersion)
 	var resp SubmitResponse
-	if err := c.call(http.MethodPost, PathSubmit, &req, &resp); err != nil {
+	if err := c.callCorr(http.MethodPost, PathSubmit, req.CorrID, &req, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.IDs) != len(cells) {
@@ -156,6 +160,11 @@ func retryableStatus(code int) bool {
 // call performs one API request under the transport retry budget,
 // honoring Retry-After on backpressure responses.
 func (c *Client) call(method, path string, body, out any) error {
+	return c.callCorr(method, path, "", body, out)
+}
+
+// callCorr is call with a correlation ID riding the obs.CorrHeader.
+func (c *Client) callCorr(method, path, corr string, body, out any) error {
 	var payload []byte
 	if body != nil {
 		var err error
@@ -174,6 +183,9 @@ func (c *Client) call(method, path string, body, out any) error {
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
+		}
+		if corr != "" {
+			req.Header.Set(obs.CorrHeader, corr)
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"largewindow/internal/campaign"
+	"largewindow/internal/obs"
 	"largewindow/internal/telemetry"
 )
 
@@ -42,8 +44,25 @@ type CoordinatorOptions struct {
 	// poison-cell guard: a cell that kills every worker it touches must
 	// not eat the fleet forever.
 	MaxRequeues int
-	// Log receives dispatch, expiry, and rejection lines (nil = quiet).
-	Log io.Writer
+	// Log receives dispatch, expiry, and rejection records with
+	// structured cell/lease/worker/correlation IDs (nil = quiet).
+	// Routine lifecycle traffic logs at Debug; failures at Warn.
+	Log *slog.Logger
+
+	// Events, when non-nil, receives every lifecycle event (submit,
+	// lease, heartbeat, requeue, retry, complete, fail) plus periodic
+	// progress snapshots, and is served to any number of SSE
+	// subscribers at PathEvents. nil disables event streaming at zero
+	// cost (one untaken branch per would-be event).
+	Events *obs.Bus
+	// Spans, when non-nil, records distributed cell-lifecycle spans
+	// (queued, leased, persisting coordinator-side; attempt, executing
+	// merged from workers' completions) for `wibtrace -fleet`. nil
+	// disables span tracing at zero cost.
+	Spans *obs.SpanLog
+	// ProgressInterval paces progress events on the bus (<= 0: 1s);
+	// ignored when Events is nil.
+	ProgressInterval time.Duration
 }
 
 func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
@@ -56,6 +75,9 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 	if o.MaxRequeues <= 0 {
 		o.MaxRequeues = 5
 	}
+	if o.ProgressInterval <= 0 {
+		o.ProgressInterval = time.Second
+	}
 	return o
 }
 
@@ -63,6 +85,7 @@ func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
 type svcCell struct {
 	cell campaign.Cell
 	id   string
+	corr string // campaign correlation ID (empty when tracing is off)
 
 	status   string // StatusPending | StatusRunning | StatusDone | StatusFailed
 	attempts int    // dispatches so far
@@ -70,6 +93,8 @@ type svcCell struct {
 	requeues int    // lease expiries suffered
 
 	notBefore time.Time // retry backoff: not dispatchable before this
+	queuedAt  time.Time // start of the current queued span
+	leasedAt  time.Time // start of the current leased span
 
 	leaseID string
 	expiry  time.Time
@@ -87,8 +112,9 @@ type svcCell struct {
 // the shared store — losing the coordinator loses only bookkeeping that
 // resubmission rebuilds, never results.
 type Coordinator struct {
-	opt CoordinatorOptions
-	reg *telemetry.Registry
+	opt   CoordinatorOptions
+	reg   *telemetry.Registry
+	start time.Time
 
 	mu       sync.Mutex
 	cells    map[string]*svcCell
@@ -105,17 +131,21 @@ type Coordinator struct {
 	requeues      atomic.Uint64
 	leaseExpiries atomic.Uint64
 	rejected      atomic.Uint64
+	instrs        atomic.Uint64 // simulated instructions across completions
 
-	stopReaper chan struct{}
-	reaperDone chan struct{}
+	stopReaper   chan struct{}
+	reaperDone   chan struct{}
+	progressDone chan struct{} // nil unless the progress loop started
 }
 
-// NewCoordinator builds a coordinator and starts its lease reaper. Call
-// Close (or Drain) when done.
+// NewCoordinator builds a coordinator and starts its lease reaper (and,
+// when an event bus is attached, its progress broadcaster). Call Close
+// (or Drain) when done.
 func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 	c := &Coordinator{
 		opt:        opt.withDefaults(),
 		reg:        telemetry.NewRegistry(),
+		start:      time.Now(),
 		cells:      make(map[string]*svcCell),
 		leases:     make(map[string]*svcCell),
 		wake:       make(chan struct{}),
@@ -130,20 +160,91 @@ func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 	c.reg.CounterFunc("service.requeues", c.requeues.Load)
 	c.reg.CounterFunc("service.lease_expiries", c.leaseExpiries.Load)
 	c.reg.CounterFunc("service.rejected", c.rejected.Load)
-	c.reg.CounterFunc("service.queue.depth", func() uint64 {
+	c.reg.CounterFunc("service.instrs", c.instrs.Load)
+	c.reg.Gauge("service.queue.depth", func(int64) float64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		return uint64(len(c.queue))
+		return float64(len(c.queue))
 	})
+	c.reg.Gauge("service.active_leases", func(int64) float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.leases))
+	})
+	if c.opt.Events != nil {
+		c.reg.CounterFunc("service.events.published", c.opt.Events.Published)
+		c.reg.CounterFunc("service.events.dropped", c.opt.Events.Dropped)
+		c.reg.Gauge("service.events.subscribers", func(int64) float64 {
+			return float64(c.opt.Events.Subscribers())
+		})
+	}
+	if c.opt.Spans != nil {
+		c.reg.CounterFunc("service.spans.recorded", c.opt.Spans.Count)
+	}
 	go c.reaper()
+	if c.opt.Events != nil {
+		c.progressDone = make(chan struct{})
+		go c.progressLoop()
+	}
 	return c
 }
 
-// Registry exposes the coordinator's telemetry counters.
+// Registry exposes the coordinator's telemetry counters (also served as
+// Prometheus text at PathMetrics).
 func (c *Coordinator) Registry() *telemetry.Registry { return c.reg }
 
-// Close stops the reaper. It does not wait for in-flight work; use Drain
-// for a graceful shutdown.
+// log emits one structured record when a logger is attached.
+func (c *Coordinator) log(level slog.Level, msg string, args ...any) {
+	if c.opt.Log != nil {
+		c.opt.Log.Log(context.Background(), level, msg, args...)
+	}
+}
+
+// publish offers one lifecycle event to the bus; a nil bus costs one
+// untaken branch, keeping the disabled path free (the overhead gate in
+// obs_overhead_test.go holds this to account).
+func (c *Coordinator) publish(ev obs.Event) {
+	if c.opt.Events == nil {
+		return
+	}
+	c.opt.Events.Publish(ev)
+}
+
+// cellEvent builds the common event shape for one cell. Callers must
+// hold mu or own the cell exclusively (completed cells are quiescent).
+func cellEvent(typ string, sc *svcCell) obs.Event {
+	return obs.Event{
+		Type:    typ,
+		CellID:  sc.id,
+		Cell:    sc.cell.String(),
+		CorrID:  sc.corr,
+		Worker:  sc.worker,
+		LeaseID: sc.leaseID,
+		Attempt: sc.attempts,
+	}
+}
+
+// span records one coordinator-side lifecycle span; nil log = free.
+func (c *Coordinator) span(name string, sc *svcCell, start, end time.Time, note string) {
+	if c.opt.Spans == nil {
+		return
+	}
+	c.opt.Spans.Record(obs.Span{
+		CorrID:  sc.corr,
+		CellID:  sc.id,
+		Cell:    sc.cell.String(),
+		Name:    name,
+		Src:     "coordinator",
+		Attempt: sc.attempts,
+		StartUS: start.UnixMicro(),
+		EndUS:   end.UnixMicro(),
+		Note:    note,
+	})
+}
+
+// Close stops the reaper and progress broadcaster and flushes the span
+// log. It does not wait for in-flight work; use Drain for a graceful
+// shutdown.
 func (c *Coordinator) Close() {
 	select {
 	case <-c.stopReaper:
@@ -151,6 +252,10 @@ func (c *Coordinator) Close() {
 		close(c.stopReaper)
 	}
 	<-c.reaperDone
+	if c.progressDone != nil {
+		<-c.progressDone
+	}
+	c.opt.Spans.Flush()
 }
 
 // Drain enters graceful shutdown: new submissions are refused (503), no
@@ -163,9 +268,8 @@ func (c *Coordinator) Drain(ctx context.Context) error {
 	c.draining = true
 	c.broadcastLocked()
 	c.mu.Unlock()
-	if c.opt.Log != nil {
-		fmt.Fprintf(c.opt.Log, "coordinator: draining (%d leases in flight)\n", c.activeLeases())
-	}
+	c.publish(obs.Event{Type: obs.EventDrain})
+	c.log(slog.LevelInfo, "coordinator draining", "leases_in_flight", c.activeLeases())
 	tick := time.NewTicker(20 * time.Millisecond)
 	defer tick.Stop()
 	for {
@@ -219,6 +323,47 @@ func (c *Coordinator) reaper() {
 	}
 }
 
+// progressLoop broadcasts periodic fleet snapshots on the event bus:
+// cells done, aggregate simulated-instruction throughput, and an ETA —
+// the stream `experiments -watch` renders live.
+func (c *Coordinator) progressLoop() {
+	defer close(c.progressDone)
+	tick := time.NewTicker(c.opt.ProgressInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stopReaper:
+			return
+		case <-tick.C:
+			c.publish(obs.Event{Type: obs.EventProgress, Progress: c.progress()})
+		}
+	}
+}
+
+// progress snapshots fleet progress with every rendered rate guarded
+// against NaN/Inf/negative shapes (campaign start, zero counters).
+func (c *Coordinator) progress() *obs.Progress {
+	c.mu.Lock()
+	depth, running := len(c.queue), len(c.leases)
+	c.mu.Unlock()
+	elapsed := time.Since(c.start).Seconds()
+	p := &obs.Progress{
+		Submitted:  c.submitted.Load(),
+		Done:       c.completed.Load(),
+		Failed:     c.failed.Load(),
+		Running:    running,
+		QueueDepth: depth,
+		CacheHits:  c.cacheHits.Load(),
+		Retries:    c.retries.Load(),
+		Requeues:   c.requeues.Load(),
+		Instrs:     c.instrs.Load(),
+		ElapsedSec: elapsed,
+	}
+	p.InstrsPerSec = obs.SaneRate(float64(p.Instrs), elapsed)
+	p.ETASec = obs.SaneETA(p.Done+p.Failed, p.Submitted, elapsed)
+	return p
+}
+
 func (c *Coordinator) reapExpired(now time.Time) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -227,12 +372,12 @@ func (c *Coordinator) reapExpired(now time.Time) {
 			continue
 		}
 		delete(c.leases, id)
+		c.span(obs.SpanLeased, sc, sc.leasedAt, now, "lease expired")
 		sc.leaseID = ""
 		c.leaseExpiries.Add(1)
-		if c.opt.Log != nil {
-			fmt.Fprintf(c.opt.Log, "coordinator: lease %s expired (worker %s, cell %s, attempt %d)\n",
-				id, sc.worker, sc.cell, sc.attempts)
-		}
+		c.log(slog.LevelWarn, "lease expired",
+			"lease", id, "worker", sc.worker, "cell", sc.cell.String(),
+			"cell_id", sc.id, "corr_id", sc.corr, "attempt", sc.attempts)
 		sc.requeues++
 		if sc.requeues > c.opt.MaxRequeues {
 			c.failLocked(sc, fmt.Sprintf("lease expired %d times (poison cell or fleet-wide loss)", sc.requeues))
@@ -241,6 +386,8 @@ func (c *Coordinator) reapExpired(now time.Time) {
 		c.requeues.Add(1)
 		sc.status = StatusPending
 		sc.notBefore = time.Time{}
+		sc.queuedAt = now
+		c.publish(cellEvent(obs.EventRequeue, sc))
 		// Front of the queue: a requeued cell has already waited its turn.
 		c.queue = append([]*svcCell{sc}, c.queue...)
 		c.broadcastLocked()
@@ -253,9 +400,11 @@ func (c *Coordinator) failLocked(sc *svcCell, msg string) {
 	sc.errMsg = msg
 	c.failed.Add(1)
 	close(sc.done)
-	if c.opt.Log != nil {
-		fmt.Fprintf(c.opt.Log, "coordinator: cell %s FAILED: %s\n", sc.cell, msg)
-	}
+	ev := cellEvent(obs.EventFail, sc)
+	ev.Error = msg
+	c.publish(ev)
+	c.log(slog.LevelWarn, "cell failed permanently",
+		"cell", sc.cell.String(), "cell_id", sc.id, "corr_id", sc.corr, "error", msg)
 }
 
 // Handler returns the coordinator's HTTP API.
@@ -267,6 +416,8 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc(PathComplete, c.handleComplete)
 	mux.HandleFunc(PathResult, c.handleResult)
 	mux.HandleFunc(PathStats, c.handleStats)
+	mux.Handle(PathEvents, obs.SSEHandler(c.opt.Events))
+	mux.Handle(PathMetrics, obs.MetricsHandler(c.reg))
 	mux.HandleFunc(PathHealth, func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
@@ -298,6 +449,12 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any, what string, vers
 	return true
 }
 
+// observed reports whether any tracing surface is enabled — the single
+// cheap check the hot dispatch path guards correlation work behind.
+func (c *Coordinator) observed() bool {
+	return c.opt.Events != nil || c.opt.Spans != nil
+}
+
 // handleSubmit registers cells. Known cells (queued, running, finished,
 // or in the store) are deduplicated for free via their content IDs;
 // permanently failed cells are re-armed — failures are never persisted,
@@ -307,6 +464,16 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	if !decodeBody(w, r, &req, "submit request", &req.SchemaVersion) {
 		return
+	}
+	// The correlation ID propagates from the client (body or header);
+	// when tracing is on and the client sent none, mint one here so
+	// every span and event of this campaign still stitches together.
+	corr := req.CorrID
+	if corr == "" {
+		corr = r.Header.Get(obs.CorrHeader)
+	}
+	if corr == "" && c.observed() {
+		corr = obs.NewCorrID()
 	}
 	// Probe the store outside the lock: disk reads must not stall the
 	// dispatch path. A racing duplicate submit resolves under the lock.
@@ -321,12 +488,14 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			rec, err := c.opt.Store.Get(probes[i].id)
 			if err == nil && rec != nil {
 				probes[i].rec = rec
-			} else if err != nil && c.opt.Log != nil {
-				fmt.Fprintf(c.opt.Log, "coordinator: store entry %s unusable, re-running: %v\n", probes[i].id, err)
+			} else if err != nil {
+				c.log(slog.LevelWarn, "store entry unusable, re-running",
+					"cell_id", probes[i].id, "error", err)
 			}
 		}
 	}
 
+	now := time.Now()
 	c.mu.Lock()
 	if c.draining {
 		c.mu.Unlock()
@@ -359,13 +528,14 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			continue // queued, running, or done: dedup
 		}
 		if !known {
-			sc = &svcCell{cell: cell, id: id, done: make(chan struct{})}
+			sc = &svcCell{cell: cell, id: id, corr: corr, done: make(chan struct{})}
 			c.cells[id] = sc
 			c.submitted.Add(1)
 		} else {
 			// Re-armed failure: fresh lifecycle, fresh waiters.
 			sc.failures, sc.requeues, sc.attempts = 0, 0, 0
 			sc.errMsg = ""
+			sc.corr = corr
 			sc.done = make(chan struct{})
 		}
 		if rec := probes[i].rec; rec != nil {
@@ -374,12 +544,17 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			c.cacheHits.Add(1)
 			c.completed.Add(1)
 			close(sc.done)
+			ev := cellEvent(obs.EventComplete, sc)
+			ev.Note = "store hit"
+			c.publish(ev)
 			continue
 		}
 		sc.status = StatusPending
 		sc.notBefore = time.Time{}
+		sc.queuedAt = now
 		c.queue = append(c.queue, sc)
 		resp.Enqueued++
+		c.publish(cellEvent(obs.EventSubmit, sc))
 	}
 	if resp.Enqueued > 0 {
 		c.broadcastLocked()
@@ -413,10 +588,9 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		if sc := c.popReadyLocked(time.Now()); sc != nil {
 			lease := c.leaseLocked(sc, req.WorkerID)
 			c.mu.Unlock()
-			if c.opt.Log != nil {
-				fmt.Fprintf(c.opt.Log, "coordinator: leased %s to %s (lease %s, attempt %d)\n",
-					sc.cell, req.WorkerID, lease.LeaseID, lease.Attempt)
-			}
+			c.log(slog.LevelDebug, "leased",
+				"cell", sc.cell.String(), "cell_id", lease.CellID, "corr_id", lease.CorrID,
+				"worker", req.WorkerID, "lease", lease.LeaseID, "attempt", lease.Attempt)
 			resp := LeaseResponse{Lease: lease}
 			stamp(&resp.SchemaVersion)
 			writeJSON(w, http.StatusOK, resp)
@@ -458,24 +632,36 @@ func (c *Coordinator) popReadyLocked(now time.Time) *svcCell {
 	return nil
 }
 
-// leaseLocked creates a lease for a cell. Callers hold mu.
+// leaseLocked creates a lease for a cell, closing its queued span and
+// opening its leased one. Callers hold mu.
 func (c *Coordinator) leaseLocked(sc *svcCell, worker string) *Lease {
 	var raw [8]byte
 	rand.Read(raw[:])
 	id := hex.EncodeToString(raw[:])
+	now := time.Now()
 	sc.status = StatusRunning
 	sc.leaseID = id
 	sc.worker = worker
-	sc.expiry = time.Now().Add(c.opt.LeaseTTL)
+	sc.expiry = now.Add(c.opt.LeaseTTL)
 	sc.attempts++
+	c.span(obs.SpanQueued, sc, sc.queuedAt, now, "")
+	sc.leasedAt = now
 	c.leases[id] = sc
-	return &Lease{
+	c.publish(cellEvent(obs.EventLease, sc))
+	ls := &Lease{
 		LeaseID: id,
 		CellID:  sc.id,
 		Cell:    sc.cell,
 		Attempt: sc.attempts,
 		TTLMS:   c.opt.LeaseTTL.Milliseconds(),
 	}
+	// Propagating the correlation ID is what arms worker-side span
+	// recording; withhold it when no tracing surface is on so a disabled
+	// fleet stays span-free end to end.
+	if c.observed() {
+		ls.CorrID = sc.corr
+	}
+	return ls
 }
 
 // handleHeartbeat extends a live lease. A lease the reaper already
@@ -490,6 +676,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	sc, ok := c.leases[req.LeaseID]
 	if ok {
 		sc.expiry = time.Now().Add(c.opt.LeaseTTL)
+		c.publish(cellEvent(obs.EventHeartbeat, sc))
 	}
 	c.mu.Unlock()
 	if !ok {
@@ -509,6 +696,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req, "completion", &req.SchemaVersion) {
 		return
 	}
+	now := time.Now()
 	c.mu.Lock()
 	sc, ok := c.leases[req.LeaseID]
 	if !ok || sc.leaseID != req.LeaseID {
@@ -517,7 +705,6 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	delete(c.leases, req.LeaseID)
-	sc.leaseID = ""
 
 	errMsg, transient := req.Error, req.Transient
 	rec := req.Record
@@ -532,6 +719,15 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 			transient = true
 		}
 	}
+	c.span(obs.SpanLeased, sc, sc.leasedAt, now, errMsg)
+	sc.leaseID = ""
+	// Worker-side spans (executing, attempt) merge into the same log so
+	// the fleet timeline carries both sides of the hop.
+	if c.opt.Spans != nil {
+		for _, sp := range req.Spans {
+			c.opt.Spans.Record(sp)
+		}
+	}
 	if errMsg == "" {
 		rec.CellID = sc.id
 		// Persist before releasing waiters: a client that saw "done" must
@@ -540,19 +736,25 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		// touch it while the lock is dropped for disk I/O.
 		c.mu.Unlock()
 		if c.opt.Store != nil {
-			if perr := c.opt.Store.Put(rec); perr != nil && c.opt.Log != nil {
-				fmt.Fprintf(c.opt.Log, "coordinator: persisting %s: %v\n", sc.cell, perr)
+			putStart := time.Now()
+			if perr := c.opt.Store.Put(rec); perr != nil {
+				c.log(slog.LevelWarn, "persisting record",
+					"cell", sc.cell.String(), "cell_id", sc.id, "error", perr)
 			}
+			c.span(obs.SpanPersisting, sc, putStart, time.Now(), "")
 		}
 		c.mu.Lock()
 		sc.status = StatusDone
 		sc.rec = rec
 		c.completed.Add(1)
+		c.instrs.Add(rec.Stats.Committed)
 		close(sc.done)
+		ev := cellEvent(obs.EventComplete, sc)
+		ev.Worker = req.WorkerID
 		c.mu.Unlock()
-		if c.opt.Log != nil {
-			fmt.Fprintf(c.opt.Log, "coordinator: completed %s (worker %s)\n", sc.cell, req.WorkerID)
-		}
+		c.publish(ev)
+		c.log(slog.LevelDebug, "completed",
+			"cell", sc.cell.String(), "cell_id", sc.id, "corr_id", sc.corr, "worker", req.WorkerID)
 		w.WriteHeader(http.StatusOK)
 		return
 	}
@@ -561,14 +763,18 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if transient && sc.failures < c.opt.Retry.Attempts() {
 		c.retries.Add(1)
 		sc.status = StatusPending
-		sc.notBefore = time.Now().Add(c.opt.Retry.Backoff(sc.failures))
+		sc.notBefore = now.Add(c.opt.Retry.Backoff(sc.failures))
+		sc.queuedAt = now
 		c.queue = append(c.queue, sc)
+		ev := cellEvent(obs.EventRetry, sc)
+		ev.Worker = req.WorkerID
+		ev.Error = errMsg
+		c.publish(ev)
 		c.broadcastLocked()
 		c.mu.Unlock()
-		if c.opt.Log != nil {
-			fmt.Fprintf(c.opt.Log, "coordinator: RETRY %s after transient failure %d (worker %s): %s\n",
-				sc.cell, sc.failures, req.WorkerID, errMsg)
-		}
+		c.log(slog.LevelWarn, "retrying after transient failure",
+			"cell", sc.cell.String(), "cell_id", sc.id, "corr_id", sc.corr,
+			"failure", sc.failures, "worker", req.WorkerID, "error", errMsg)
 		w.WriteHeader(http.StatusOK)
 		return
 	}
@@ -642,6 +848,7 @@ func (c *Coordinator) Stats() StatsResponse {
 		Requeues:      c.requeues.Load(),
 		LeaseExpiries: c.leaseExpiries.Load(),
 		Rejected:      c.rejected.Load(),
+		Instrs:        c.instrs.Load(),
 		Draining:      draining,
 	}
 	stamp(&resp.SchemaVersion)

@@ -15,6 +15,8 @@
 //	POST /api/v1/complete   deliver a record or a classified failure
 //	GET  /api/v1/result     fetch/await one cell's outcome
 //	GET  /api/v1/stats      queue depth, leases, retries, requeues
+//	GET  /api/v1/events     SSE lifecycle-event stream (DESIGN.md §11)
+//	GET  /metrics           Prometheus text exposition
 //	GET  /healthz           liveness
 //
 // Safety rests on invariants the store already guarantees: records are
@@ -30,6 +32,7 @@ import (
 	"fmt"
 
 	"largewindow/internal/campaign"
+	"largewindow/internal/obs"
 	"largewindow/internal/schema"
 )
 
@@ -41,6 +44,8 @@ const (
 	PathComplete  = "/api/v1/complete"
 	PathResult    = "/api/v1/result"
 	PathStats     = "/api/v1/stats"
+	PathEvents    = "/api/v1/events"
+	PathMetrics   = "/metrics"
 	PathHealth    = "/healthz"
 )
 
@@ -50,6 +55,11 @@ const (
 type SubmitRequest struct {
 	SchemaVersion int             `json:"schema_version"`
 	Cells         []campaign.Cell `json:"cells"`
+	// CorrID is the campaign correlation ID minted client-side at
+	// submit; it also rides the obs.CorrHeader HTTP header. Empty means
+	// the coordinator mints one (when tracing is enabled). Cells already
+	// known keep their original correlation.
+	CorrID string `json:"corr_id,omitempty"`
 }
 
 // SubmitResponse acknowledges a submission.
@@ -84,6 +94,9 @@ type Lease struct {
 	// retry, so workers can log re-dispatches visibly.
 	Attempt int   `json:"attempt"`
 	TTLMS   int64 `json:"ttl_ms"`
+	// CorrID propagates the cell's campaign correlation ID to the
+	// worker, which stamps it on every span and log line it records.
+	CorrID string `json:"corr_id,omitempty"`
 }
 
 // LeaseResponse carries a lease, or none when the queue is dry. Draining
@@ -113,6 +126,11 @@ type CompleteRequest struct {
 	Record        *campaign.Record `json:"record,omitempty"`
 	Error         string           `json:"error,omitempty"`
 	Transient     bool             `json:"transient,omitempty"`
+	// Spans are the worker-side lifecycle spans of this attempt
+	// (executing, attempt), merged into the coordinator's span log so
+	// `wibtrace -fleet` can stitch one timeline across the fleet. The
+	// coordinator drops them silently when span logging is disabled.
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 // Cell lifecycle states reported by ResultResponse.Status.
@@ -146,10 +164,11 @@ type StatsResponse struct {
 	Completed     uint64 `json:"completed"`
 	Failed        uint64 `json:"failed"`
 	CacheHits     uint64 `json:"cache_hits"`
-	Retries       uint64 `json:"retries"`        // re-dispatches after classified-transient failures
-	Requeues      uint64 `json:"requeues"`       // cells returned to the queue by lease expiry
-	LeaseExpiries uint64 `json:"lease_expiries"` // leases reaped (== lost/hung workers observed)
-	Rejected      uint64 `json:"rejected"`       // submissions bounced by backpressure
+	Retries       uint64 `json:"retries"`          // re-dispatches after classified-transient failures
+	Requeues      uint64 `json:"requeues"`         // cells returned to the queue by lease expiry
+	LeaseExpiries uint64 `json:"lease_expiries"`   // leases reaped (== lost/hung workers observed)
+	Rejected      uint64 `json:"rejected"`         // submissions bounced by backpressure
+	Instrs        uint64 `json:"instrs,omitempty"` // simulated instructions across completed cells
 	Draining      bool   `json:"draining"`
 }
 

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"sync"
@@ -13,7 +14,51 @@ import (
 	"time"
 
 	"largewindow/internal/campaign"
+	"largewindow/internal/obs"
+	"largewindow/internal/telemetry"
 )
+
+// WorkerMetrics aggregates fleet-visible counters across every worker
+// slot of one process. All fields are atomics: slots bump them
+// concurrently and the /metrics scrape (obs.MetricsHandler) reads them
+// from another goroutine entirely — plain telemetry counters would race.
+type WorkerMetrics struct {
+	CellsDone   atomic.Uint64 // completions delivered (success or classified failure)
+	CellsOK     atomic.Uint64 // completions that carried a record
+	CellsFailed atomic.Uint64 // completions that carried an error
+	LeasesLost  atomic.Uint64 // leases the coordinator reaped under us (410)
+	Heartbeats  atomic.Uint64 // heartbeats delivered
+	hbTotalUS   atomic.Uint64 // cumulative heartbeat round-trip, microseconds
+	hbLastUS    atomic.Uint64 // most recent heartbeat round-trip, microseconds
+}
+
+func (m *WorkerMetrics) noteHeartbeat(rtt time.Duration) {
+	if m == nil {
+		return
+	}
+	us := uint64(rtt.Microseconds())
+	m.Heartbeats.Add(1)
+	m.hbTotalUS.Add(us)
+	m.hbLastUS.Store(us)
+}
+
+// HeartbeatLastUS reports the most recent heartbeat round-trip in
+// microseconds (0 before the first heartbeat).
+func (m *WorkerMetrics) HeartbeatLastUS() uint64 { return m.hbLastUS.Load() }
+
+// Register exposes the metrics on a telemetry registry (served as
+// Prometheus text by the worker's -metrics-addr listener).
+func (m *WorkerMetrics) Register(reg *telemetry.Registry) {
+	reg.CounterFunc("worker.cells.done", m.CellsDone.Load)
+	reg.CounterFunc("worker.cells.ok", m.CellsOK.Load)
+	reg.CounterFunc("worker.cells.failed", m.CellsFailed.Load)
+	reg.CounterFunc("worker.leases.lost", m.LeasesLost.Load)
+	reg.CounterFunc("worker.heartbeats", m.Heartbeats.Load)
+	reg.CounterFunc("worker.heartbeat.total_us", m.hbTotalUS.Load)
+	reg.Gauge("worker.heartbeat.last_us", func(int64) float64 {
+		return float64(m.hbLastUS.Load())
+	})
+}
 
 // WorkerOptions configures one worker process (or goroutine).
 type WorkerOptions struct {
@@ -31,8 +76,14 @@ type WorkerOptions struct {
 	// PollWait is the long-poll budget per lease request when the queue
 	// is dry (<= 0: 2s).
 	PollWait time.Duration
-	// Log receives lease/completion lines (nil = quiet).
-	Log io.Writer
+	// Log receives structured lease/completion records with
+	// cell/lease/correlation IDs (nil = quiet). Routine traffic logs at
+	// Debug; delivery problems at Warn.
+	Log *slog.Logger
+	// Metrics, when non-nil, is bumped on every completion, heartbeat,
+	// and lost lease — typically one instance shared by every slot of a
+	// worker process. nil disables metric accounting.
+	Metrics *WorkerMetrics
 	// HTTPClient overrides the transport (tests).
 	HTTPClient *http.Client
 }
@@ -42,6 +93,11 @@ type WorkerOptions struct {
 // runs, reports the outcome under the lease, and lets the coordinator
 // own every scheduling decision — a worker that dies, hangs, or lies is
 // discovered by lease expiry or completion validation, never trusted.
+//
+// When a lease carries a correlation ID the worker also records attempt
+// and executing spans and ships them with the completion, so the
+// coordinator's span log holds both sides of every hop; a lease without
+// one (tracing disabled fleet-wide) records nothing.
 type Worker struct {
 	opt WorkerOptions
 	hc  *http.Client
@@ -74,6 +130,13 @@ func (w *Worker) ID() string { return w.opt.ID }
 // CellsDone counts completions this worker delivered.
 func (w *Worker) CellsDone() uint64 { return w.cellsDone.Load() }
 
+// log emits one structured record when a logger is attached.
+func (w *Worker) log(level slog.Level, msg string, args ...any) {
+	if w.opt.Log != nil {
+		w.opt.Log.Log(context.Background(), level, msg, args...)
+	}
+}
+
 // Kill abandons the worker instantly — no completion, no further
 // heartbeat, in-flight execution orphaned. It exists for the chaos
 // harness (and is exactly what SIGKILL does to a worker process): the
@@ -101,9 +164,8 @@ func (w *Worker) Run(ctx context.Context) error {
 			if ctx.Err() != nil {
 				return nil
 			}
-			if w.opt.Log != nil {
-				fmt.Fprintf(w.opt.Log, "worker %s: lease: %v (retrying in %s)\n", w.opt.ID, err, backoff)
-			}
+			w.log(slog.LevelWarn, "lease request failed",
+				"worker", w.opt.ID, "error", err, "retry_in", backoff)
 			if !w.sleep(ctx, backoff) {
 				return nil
 			}
@@ -114,9 +176,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		backoff = 50 * time.Millisecond
 		if resp.Draining {
-			if w.opt.Log != nil {
-				fmt.Fprintf(w.opt.Log, "worker %s: coordinator draining, exiting\n", w.opt.ID)
-			}
+			w.log(slog.LevelInfo, "coordinator draining, exiting", "worker", w.opt.ID)
 			return nil
 		}
 		if resp.Lease == nil {
@@ -138,18 +198,41 @@ func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
 	}
 }
 
+// workerSpan builds one worker-side span for a traced lease.
+func (w *Worker) workerSpan(ls *Lease, name string, start, end time.Time, note string) obs.Span {
+	return obs.Span{
+		CorrID:  ls.CorrID,
+		CellID:  ls.CellID,
+		Cell:    ls.Cell.String(),
+		Name:    name,
+		Src:     "worker:" + w.opt.ID,
+		Attempt: ls.Attempt,
+		StartUS: start.UnixMicro(),
+		EndUS:   end.UnixMicro(),
+		Note:    note,
+	}
+}
+
 // runLease executes one leased cell while heartbeating, then delivers
 // the outcome. Execution runs on its own goroutine so a Kill abandons it
 // mid-flight — exactly the orphaned-work shape a crashed process leaves.
 func (w *Worker) runLease(ls *Lease) {
 	type outcome struct {
-		rec *campaign.Record
-		err error
+		rec     *campaign.Record
+		err     error
+		started time.Time
+		ended   time.Time
 	}
+	traced := ls.CorrID != ""
+	attemptStart := time.Now()
+	w.log(slog.LevelDebug, "leased",
+		"worker", w.opt.ID, "cell", ls.Cell.String(), "cell_id", ls.CellID,
+		"lease", ls.LeaseID, "corr_id", ls.CorrID, "attempt", ls.Attempt)
 	execDone := make(chan outcome, 1)
 	go func() {
+		started := time.Now()
 		rec, err := w.execIsolated(ls.Cell)
-		execDone <- outcome{rec, err}
+		execDone <- outcome{rec, err, started, time.Now()}
 	}()
 	ttl := time.Duration(ls.TTLMS) * time.Millisecond
 	hbEvery := ttl / 3
@@ -163,28 +246,46 @@ func (w *Worker) runLease(ls *Lease) {
 		select {
 		case out := <-execDone:
 			if lost {
-				if w.opt.Log != nil {
-					fmt.Fprintf(w.opt.Log, "worker %s: lease %s lost, discarding %s\n", w.opt.ID, ls.LeaseID, ls.Cell)
-				}
+				w.log(slog.LevelWarn, "lease lost, discarding result",
+					"worker", w.opt.ID, "lease", ls.LeaseID, "cell", ls.Cell.String(), "corr_id", ls.CorrID)
 				return
 			}
-			w.complete(ls, out.rec, out.err)
+			var spans []obs.Span
+			if traced {
+				note := ""
+				if out.err != nil {
+					note = out.err.Error()
+				}
+				spans = append(spans, w.workerSpan(ls, obs.SpanExecuting, out.started, out.ended, note))
+			}
+			w.complete(ls, out.rec, out.err, attemptStart, spans)
 			return
 		case <-hb.C:
 			if lost {
 				continue
 			}
+			hbStart := time.Now()
 			if gone, err := w.heartbeat(ls); gone {
 				// The reaper requeued the cell; our eventual result would
 				// be refused with 410. Let the execution finish (it cannot
 				// be interrupted) but drop it.
 				lost = true
-			} else if err != nil && w.opt.Log != nil {
-				fmt.Fprintf(w.opt.Log, "worker %s: heartbeat %s: %v\n", w.opt.ID, ls.LeaseID, err)
+				w.opt.Metrics.noteLeaseLost()
+			} else if err != nil {
+				w.log(slog.LevelWarn, "heartbeat failed",
+					"worker", w.opt.ID, "lease", ls.LeaseID, "error", err)
+			} else {
+				w.opt.Metrics.noteHeartbeat(time.Since(hbStart))
 			}
 		case <-w.killed:
 			return
 		}
+	}
+}
+
+func (m *WorkerMetrics) noteLeaseLost() {
+	if m != nil {
+		m.LeasesLost.Add(1)
 	}
 }
 
@@ -201,8 +302,10 @@ func (w *Worker) execIsolated(cell campaign.Cell) (rec *campaign.Record, err err
 // complete delivers one outcome, retrying transport errors — the result
 // embodies real simulation time and is worth fighting for. A 410 means
 // the lease died while we computed; the coordinator has already
-// re-dispatched the cell, so the result is dropped.
-func (w *Worker) complete(ls *Lease, rec *campaign.Record, execErr error) {
+// re-dispatched the cell, so the result is dropped. For traced leases
+// the attempt span (lease receipt → outcome delivered) closes here and
+// ships with the request.
+func (w *Worker) complete(ls *Lease, rec *campaign.Record, execErr error, attemptStart time.Time, spans []obs.Span) {
 	req := CompleteRequest{
 		WorkerID: w.opt.ID,
 		LeaseID:  ls.LeaseID,
@@ -214,36 +317,51 @@ func (w *Worker) complete(ls *Lease, rec *campaign.Record, execErr error) {
 		rec.CellID = ls.CellID
 		req.Record = rec
 	}
+	if ls.CorrID != "" {
+		verdict := "ok"
+		if execErr != nil {
+			verdict = "error: " + execErr.Error()
+		}
+		req.Spans = append(spans, w.workerSpan(ls, obs.SpanAttempt, attemptStart, time.Now(), verdict))
+	}
 	stamp(&req.SchemaVersion)
 	backoff := 100 * time.Millisecond
 	for attempt := 1; ; attempt++ {
-		code, err := w.post(PathComplete, &req, nil)
+		code, err := w.post(PathComplete, ls.CorrID, &req, nil)
 		switch {
 		case err == nil && code == http.StatusOK:
 			w.cellsDone.Add(1)
-			if w.opt.Log != nil {
-				verdict := "ok"
+			if m := w.opt.Metrics; m != nil {
+				m.CellsDone.Add(1)
 				if execErr != nil {
-					verdict = "failed: " + execErr.Error()
+					m.CellsFailed.Add(1)
+				} else {
+					m.CellsOK.Add(1)
 				}
-				fmt.Fprintf(w.opt.Log, "worker %s: completed %s (%s)\n", w.opt.ID, ls.Cell, verdict)
+			}
+			if execErr != nil {
+				w.log(slog.LevelWarn, "completed with failure",
+					"worker", w.opt.ID, "cell", ls.Cell.String(), "cell_id", ls.CellID,
+					"corr_id", ls.CorrID, "error", execErr)
+			} else {
+				w.log(slog.LevelDebug, "completed",
+					"worker", w.opt.ID, "cell", ls.Cell.String(), "cell_id", ls.CellID,
+					"corr_id", ls.CorrID)
 			}
 			return
 		case err == nil && code == http.StatusGone:
-			if w.opt.Log != nil {
-				fmt.Fprintf(w.opt.Log, "worker %s: completion for %s refused (lease lost)\n", w.opt.ID, ls.Cell)
-			}
+			w.opt.Metrics.noteLeaseLost()
+			w.log(slog.LevelWarn, "completion refused, lease lost",
+				"worker", w.opt.ID, "cell", ls.Cell.String(), "lease", ls.LeaseID, "corr_id", ls.CorrID)
 			return
 		case err == nil:
-			if w.opt.Log != nil {
-				fmt.Fprintf(w.opt.Log, "worker %s: completion for %s rejected: HTTP %d\n", w.opt.ID, ls.Cell, code)
-			}
+			w.log(slog.LevelWarn, "completion rejected",
+				"worker", w.opt.ID, "cell", ls.Cell.String(), "http_status", code)
 			return
 		}
 		if attempt >= 5 {
-			if w.opt.Log != nil {
-				fmt.Fprintf(w.opt.Log, "worker %s: giving up delivering %s: %v\n", w.opt.ID, ls.Cell, err)
-			}
+			w.log(slog.LevelWarn, "giving up delivering completion",
+				"worker", w.opt.ID, "cell", ls.Cell.String(), "error", err)
 			return
 		}
 		select {
@@ -262,7 +380,7 @@ func (w *Worker) lease(ctx context.Context) (*LeaseResponse, error) {
 	req := LeaseRequest{WorkerID: w.opt.ID, WaitMS: w.opt.PollWait.Milliseconds()}
 	stamp(&req.SchemaVersion)
 	var resp LeaseResponse
-	code, err := w.postCtx(ctx, PathLease, &req, &resp)
+	code, err := w.postCtx(ctx, PathLease, "", &req, &resp)
 	if err != nil {
 		return nil, err
 	}
@@ -277,18 +395,18 @@ func (w *Worker) lease(ctx context.Context) (*LeaseResponse, error) {
 func (w *Worker) heartbeat(ls *Lease) (gone bool, err error) {
 	req := HeartbeatRequest{WorkerID: w.opt.ID, LeaseID: ls.LeaseID}
 	stamp(&req.SchemaVersion)
-	code, err := w.post(PathHeartbeat, &req, nil)
+	code, err := w.post(PathHeartbeat, ls.CorrID, &req, nil)
 	if err != nil {
 		return false, err
 	}
 	return code == http.StatusGone, nil
 }
 
-func (w *Worker) post(path string, body, out any) (int, error) {
-	return w.postCtx(context.Background(), path, body, out)
+func (w *Worker) post(path, corr string, body, out any) (int, error) {
+	return w.postCtx(context.Background(), path, corr, body, out)
 }
 
-func (w *Worker) postCtx(ctx context.Context, path string, body, out any) (int, error) {
+func (w *Worker) postCtx(ctx context.Context, path, corr string, body, out any) (int, error) {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return 0, err
@@ -298,6 +416,9 @@ func (w *Worker) postCtx(ctx context.Context, path string, body, out any) (int, 
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if corr != "" {
+		req.Header.Set(obs.CorrHeader, corr)
+	}
 	resp, err := w.hc.Do(req)
 	if err != nil {
 		return 0, err

@@ -153,6 +153,52 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 // Names returns every registered metric name in registration order.
 func (r *Registry) Names() []string { return append([]string(nil), r.names...) }
 
+// MetricKind discriminates the flavors of an exported Point.
+type MetricKind int
+
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+// Point is the exported point-in-time value of one registered metric,
+// the read surface exposition formats (internal/obs's Prometheus text
+// endpoint) are built on. Exactly one of Counter, Gauge, or Hist is
+// meaningful, selected by Kind.
+type Point struct {
+	Name    string
+	Kind    MetricKind
+	Counter uint64
+	Gauge   float64
+	Hist    HistSnapshot
+}
+
+// Points snapshots every registered metric in registration order. Gauge
+// functions receive cycle (pass 0 for wall-clock services that have no
+// cycle domain). Counters registered via CounterFunc are read through
+// their functions, so registries whose counters are backed by atomics
+// are safe to snapshot concurrently with the code updating them; plain
+// Counters and Histograms share the single-threaded ownership contract
+// documented on the package.
+func (r *Registry) Points(cycle int64) []Point {
+	out := make([]Point, 0, len(r.names))
+	for _, name := range r.names {
+		if v, ok := r.counterValue(name); ok {
+			out = append(out, Point{Name: name, Kind: KindCounter, Counter: v})
+			continue
+		}
+		if fn, ok := r.gauges[name]; ok {
+			out = append(out, Point{Name: name, Kind: KindGauge, Gauge: fn(cycle)})
+			continue
+		}
+		if h, ok := r.hists[name]; ok {
+			out = append(out, Point{Name: name, Kind: KindHistogram, Hist: h.snapshot()})
+		}
+	}
+	return out
+}
+
 // counterValue reads a counter or counter-func by name.
 func (r *Registry) counterValue(name string) (uint64, bool) {
 	if c, ok := r.counters[name]; ok {

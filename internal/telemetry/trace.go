@@ -134,6 +134,74 @@ func WriteChromeTrace(w io.Writer, recs []InstrRecord) error {
 	return enc.Encode(&f)
 }
 
+// FleetSpan is one distributed-campaign lifecycle span prepared for
+// Chrome rendering: Track names the process row (coordinator, one per
+// worker), Lane the thread row within it (one per cell), and the
+// timestamps are microseconds (already normalized or absolute — the
+// writer rebases everything to the earliest start).
+type FleetSpan struct {
+	Track   string
+	Lane    string
+	Name    string
+	Cat     string
+	StartUS int64
+	EndUS   int64
+	Instant bool // render as an instant event at StartUS (requeue, fail)
+	Args    map[string]interface{}
+}
+
+// WriteChromeSpans renders fleet lifecycle spans as Chrome trace-event
+// JSON: one pid per distinct Track (in order of first appearance), one
+// tid per distinct Lane within it, with process_name/thread_name
+// metadata so chrome://tracing labels the rows. The output satisfies
+// ReadChromeTrace, the validator the smoke gates already use.
+func WriteChromeSpans(w io.Writer, spans []FleetSpan) error {
+	f := chromeTraceFile{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	var base int64
+	for i, sp := range spans {
+		if i == 0 || sp.StartUS < base {
+			base = sp.StartUS
+		}
+	}
+	pids := map[string]int{}
+	tids := map[string]int64{}
+	meta := func(name string, pid int, tid int64, label string) {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: name, Ph: "M", PID: pid, TID: tid,
+			Args: map[string]interface{}{"name": label},
+		})
+	}
+	for _, sp := range spans {
+		pid, ok := pids[sp.Track]
+		if !ok {
+			pid = len(pids)
+			pids[sp.Track] = pid
+			meta("process_name", pid, 0, sp.Track)
+		}
+		laneKey := sp.Track + "\x00" + sp.Lane
+		tid, ok := tids[laneKey]
+		if !ok {
+			tid = int64(len(tids))
+			tids[laneKey] = tid
+			meta("thread_name", pid, tid, sp.Lane)
+		}
+		ev := chromeEvent{
+			Name: sp.Name, Cat: sp.Cat, Ph: "X",
+			TS: sp.StartUS - base, PID: pid, TID: tid, Args: sp.Args,
+		}
+		if sp.Instant {
+			ev.Ph = "i"
+		} else {
+			if sp.EndUS < sp.StartUS {
+				sp.EndUS = sp.StartUS
+			}
+			ev.Dur = sp.EndUS - sp.StartUS
+		}
+		f.TraceEvents = append(f.TraceEvents, ev)
+	}
+	return json.NewEncoder(w).Encode(&f)
+}
+
 // ChromeTraceStats summarizes a parsed Chrome trace for validation and
 // rendering: event counts per stage category and the cycle range covered.
 type ChromeTraceStats struct {

@@ -65,18 +65,31 @@ echo "== campaign service tests (race) =="
 # rejection, and the in-process chaos sweep — all race-enabled.
 go test -race -count=1 ./internal/service/
 
+echo "== observability smoke (metrics + SSE + fleet trace) =="
+# /metrics must parse and land on exact totals; an SSE subscriber must
+# see submit -> lease -> complete with one correlation ID; a traced sweep
+# must leave >= 1 span per lifecycle stage per cell and stitch into a
+# valid Chrome trace.
+go test -count=1 -run 'TestObsMetricsScrapeMonotone|TestObsSSELifecycleSmoke|TestObsFleetTraceSmoke' ./internal/service/
+
+echo "== observability race gate (stats + subscriber churn) =="
+go test -race -count=1 \
+    -run 'TestObsStatsRaceUnderChurn|TestObsSSESubscriberChurnDuringCampaign|TestBusConcurrentChurn' \
+    ./internal/service/ ./internal/obs/
+
 echo "== distributed campaign chaos gate =="
 # The service's acceptance bar (DESIGN.md §10): the same sweep run
 # serially and on a coordinator + 3 workers — one of them kill -9'd
 # mid-campaign — must complete, produce a byte-identical record store,
 # and resuming from the fleet's store must re-execute ZERO cells.
 svcdir="$(mktemp -d)"
-go build -o "$svcdir/bin/" ./cmd/experiments ./cmd/wibserve ./cmd/wibworker
+go build -o "$svcdir/bin/" ./cmd/experiments ./cmd/wibserve ./cmd/wibworker ./cmd/wibtrace
 "$svcdir/bin/experiments" -run fig4 -bench gzip,art,treeadd -scale test \
     -instr 500000 -parallel 4 -cache-dir "$svcdir/serial" -progress=false \
     >"$svcdir/serial.out" 2>"$svcdir/serial.err"
 "$svcdir/bin/wibserve" -addr 127.0.0.1:0 -cache-dir "$svcdir/dist" \
-    -lease-ttl 2s >"$svcdir/serve.out" 2>"$svcdir/serve.err" &
+    -lease-ttl 2s -span-log "$svcdir/spans.jsonl" \
+    >"$svcdir/serve.out" 2>"$svcdir/serve.err" &
 servepid=$!
 i=0
 while [ $i -lt 100 ] && ! grep -q 'listening on' "$svcdir/serve.out" 2>/dev/null; do
@@ -96,6 +109,14 @@ timeout 300 "$svcdir/bin/experiments" -server "$url" -run fig4 \
     >"$svcdir/dist.out" 2>"$svcdir/dist.err" &
 exppid=$!
 sleep 1
+# Live scrape while the fleet is mid-campaign: the exposition must parse
+# (non-empty, first line a comment) even under churn.
+if command -v curl >/dev/null 2>&1; then
+    curl -sf "$url/metrics" >"$svcdir/metrics.txt" || {
+        echo "FAIL: /metrics unreachable mid-campaign"; exit 1; }
+    head -1 "$svcdir/metrics.txt" | grep -q '^#' || {
+        echo "FAIL: /metrics exposition malformed:"; head -5 "$svcdir/metrics.txt"; exit 1; }
+fi
 kill -9 "$victim" 2>/dev/null || true
 if ! wait $exppid; then
     echo "FAIL: distributed sweep did not survive a killed worker:"
@@ -106,6 +127,14 @@ if ! wait $exppid; then
 fi
 kill -TERM $servepid $wpids 2>/dev/null || true
 for p in $wpids $servepid; do wait $p 2>/dev/null || true; done
+# Stitch the fleet's span log into one Chrome trace and validate it with
+# the repo's own trace reader — the distributed-tracing acceptance bar.
+"$svcdir/bin/wibtrace" -fleet "$svcdir/spans.jsonl" -o "$svcdir/fleet.trace.json" \
+    >"$svcdir/fleet.out" 2>&1 || {
+    echo "FAIL: fleet trace did not stitch:"; cat "$svcdir/fleet.out"; exit 1; }
+"$svcdir/bin/wibtrace" -render "$svcdir/fleet.trace.json" >/dev/null || {
+    echo "FAIL: stitched fleet trace fails the trace validator"; exit 1; }
+grep -E '^(spans|hops)' "$svcdir/fleet.out" | sed 's/^/  fleet /' || true
 if ! diff -r "$svcdir/serial/ca" "$svcdir/dist/ca" >/dev/null || \
    ! diff -r "$svcdir/serial/ca" "$svcdir/client/ca" >/dev/null; then
     echo "FAIL: fleet record stores differ from the serial run"
@@ -193,6 +222,11 @@ go run ./cmd/wibtrace -render "$teldir/mgrid.kanata" >/dev/null
 
 echo "== telemetry overhead (disabled path must stay near-free) =="
 go test -count=1 -run TestDisabledTelemetryOverhead -v ./internal/telemetry/ | grep -E 'overhead|PASS|FAIL'
+
+echo "== observability overhead (disabled fleet hooks must stay free) =="
+# Same sweep with events+spans on vs off must be within noise, and the
+# disabled publish/span hooks must be zero-allocation.
+go test -count=1 -run 'TestDisabledObsOverhead|TestDisabledObsZeroAlloc' -v ./internal/service/ | grep -E 'overhead|PASS|FAIL'
 
 benchref=BENCH_PR5.json
 [ -f "$benchref" ] || benchref=BENCH_PR3.json
