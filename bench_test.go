@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"testing"
@@ -235,4 +236,64 @@ func BenchmarkCheckpointedCampaign(b *testing.B) {
 	}
 	b.ReportMetric(detailed.Seconds()/checkpointed.Seconds(), "ckpt-speedup")
 	b.ReportMetric(checkpointed.Seconds()/float64(b.N), "ckpt-s/sweep")
+}
+
+// BenchmarkSampledCampaign measures the sampling engine's win: the full
+// 18-kernel suite under the base and WIB machines, each cell run to
+// completion in the detailed core versus estimated by the default
+// SMARTS plan. It reports the wall-clock ratio ("sample-speedup") and
+// the mean absolute per-cell error of the sampled IPC estimate against
+// the full-detail truth ("sample-ipc-err", percent). The sampled arm
+// pays all of its own costs — one sizing pass per benchmark to resolve
+// the auto-period plan (memoized across configs, exactly as the
+// campaign session memoizes it), functional warming, and per-interval
+// checkpoint handoffs. scripts/check.sh gates the recorded numbers at
+// >= 5x and <= 2%.
+func BenchmarkSampledCampaign(b *testing.B) {
+	plan, err := ParseSamplingPlan(DefaultSamplingSpec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	cfgs := []Config{BaseConfig(), WIBConfig()}
+	var detailed, sampled time.Duration
+	var sumErr float64
+	var cells int
+	for i := 0; i < b.N; i++ {
+		var truths []float64
+		start := time.Now()
+		for _, spec := range workload.All() {
+			for _, cfg := range cfgs {
+				r, err := SimulateContext(ctx, cfg, Benchmark(spec.Name, ScaleRun))
+				if err != nil {
+					b.Fatal(err)
+				}
+				truths = append(truths, r.IPC())
+			}
+		}
+		detailed += time.Since(start)
+
+		start = time.Now()
+		j := 0
+		for _, spec := range workload.All() {
+			prog := Benchmark(spec.Name, ScaleRun)
+			total, err := ProgramLength(prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resolved := plan.Resolve(total)
+			for _, cfg := range cfgs {
+				r, err := SimulateContext(ctx, cfg, Benchmark(spec.Name, ScaleRun), WithSampling(resolved))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sumErr += math.Abs(r.IPC()-truths[j]) / truths[j]
+				j++
+				cells++
+			}
+		}
+		sampled += time.Since(start)
+	}
+	b.ReportMetric(detailed.Seconds()/sampled.Seconds(), "sample-speedup")
+	b.ReportMetric(100*sumErr/float64(cells), "sample-ipc-err")
 }

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	experiments [-run fig1,table2,fig4,fig5,fig6,policy,fig7,sens|all]
-//	            [-instr N] [-skip N] [-bench a,b,c] [-scale test|run|full] [-v]
+//	            [-instr N] [-skip N] [-sample n=50,period=200000,len=2000,warm=2000]
+//	            [-bench a,b,c] [-scale test|run|full] [-v]
 //	            [-parallel N] [-cache-dir dir] [-resume] [-retries N]
 //	            [-server http://host:8420] [-watch]
 //	            [-deadline 2m] [-crash-dump dir]
@@ -51,6 +52,7 @@ import (
 	"largewindow/internal/campaign"
 	"largewindow/internal/core"
 	"largewindow/internal/harness"
+	"largewindow/internal/sample"
 	"largewindow/internal/service"
 	"largewindow/internal/workload"
 )
@@ -61,6 +63,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		instr   = flag.Uint64("instr", 300_000, "committed-instruction budget per run")
 		skip    = flag.Uint64("skip", 0, "fast-forward N instructions functionally before each measured region (checkpoints shared across configs)")
+		smpl    = flag.String("sample", "", "run every cell as a SMARTS sampled simulation under this plan (n=...,period=...,len=...[,warm=N,seed=S,random])")
 		bench   = flag.String("bench", "", "comma-separated benchmark subset (default all 18)")
 		scale   = flag.String("scale", "run", "kernel scale: test, run, or full")
 		par     = flag.Int("parallel", 0, "concurrent simulations (default GOMAXPROCS)")
@@ -107,6 +110,14 @@ func main() {
 		SampleInterval: *sampleIvl,
 		CacheDir:       *cacheDir,
 		Resume:         *resume,
+	}
+	if *smpl != "" {
+		plan, err := sample.Parse(*smpl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opt.Sampling = &plan
 	}
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	wibsim -bench art [-config base|wib|iq2k|wib256] [-instr N]
-//	       [-skip N] [-measure N]
+//	       [-skip N] [-measure N] [-sample n=50,period=200000,len=2000,warm=2000]
 //	       [-wib-entries N] [-bitvectors N] [-policy banked|program-order|rr-load|oldest-load]
 //	       [-mem-latency N] [-dump] [-deadline 30s] [-crash-dump crash.json]
 //	       [-watchdog N] [-lockstep]
@@ -34,6 +34,8 @@ import (
 
 	"largewindow/internal/core"
 	"largewindow/internal/emu"
+	"largewindow/internal/isa"
+	"largewindow/internal/sample"
 	"largewindow/internal/telemetry"
 	"largewindow/internal/workload"
 )
@@ -46,6 +48,7 @@ func main() {
 		instr   = flag.Uint64("instr", 1_000_000, "committed-instruction budget (0 = to completion)")
 		skip    = flag.Uint64("skip", 0, "fast-forward N instructions functionally before detailed simulation")
 		measure = flag.Uint64("measure", 0, "measured-region instruction budget (alias of -instr for skip/measure windows)")
+		smpl    = flag.String("sample", "", "SMARTS sampling plan, e.g. n=50,period=200000,len=2000,warm=2000[,seed=S,random]")
 		cycles  = flag.Int64("cycles", 200_000_000, "cycle budget")
 		scale   = flag.String("scale", "run", "kernel scale: test, run, full")
 		entries = flag.Int("wib-entries", 2048, "WIB/active-list entries (config=custom)")
@@ -135,6 +138,10 @@ func main() {
 	}
 
 	prog := spec.Build(sc)
+	if *smpl != "" {
+		runSampled(*smpl, spec, sc, cfg, prog, *cycles, *deadline, *pprofOut)
+		return
+	}
 	p, err := core.New(cfg, prog)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -242,6 +249,67 @@ func main() {
 		fmt.Println()
 		core.WriteTimeline(os.Stdout, p.Traces())
 	}
+}
+
+// runSampled executes one benchmark as a SMARTS-style sampled simulation
+// and prints the sampled report: point-estimate IPC with its 95%
+// confidence interval, per-interval spread, and the measured-window
+// memory-system ratios. The -telemetry/-trace options do not apply (the
+// detailed core is recreated per interval).
+func runSampled(spec string, wl workload.Spec, sc workload.Scale, cfg core.Config, prog *isa.Program, cycles int64, deadline time.Duration, pprofOut string) {
+	plan, err := sample.Parse(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if pprofOut != "" {
+		f, err := os.Create(pprofOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	ctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	start := time.Now()
+	out, err := sample.Run(ctx, cfg, prog, plan, cycles, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		var se *core.SimError
+		if errors.As(err, &se) {
+			se.Bench = wl.Name
+			se.Scale = sc.String()
+		}
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	st := out.Stats
+	fmt.Printf("benchmark         %s (%s, %d static instrs)\n", wl.Name, wl.Suite, len(prog.Code))
+	fmt.Printf("configuration     %s\n", cfg.Name)
+	fmt.Printf("sampling plan     %s\n", plan)
+	fmt.Printf("intervals         %d measured of %d planned", len(out.IntervalIPCs), plan.Intervals)
+	if out.Halted {
+		fmt.Printf(" (program halted)")
+	}
+	fmt.Println()
+	fmt.Printf("coverage          %d instructions functional+detailed, %d measured, in %s\n",
+		out.TotalInstr, st.Committed, elapsed.Round(time.Millisecond))
+	fmt.Printf("IPC               %.4f ± %.4f (95%% CI, stddev %.4f)\n", out.MeanIPC, out.IPCCI95, out.IPCStdDev)
+	fmt.Printf("branch dir pred   %.4f (%d cond branches)\n", out.BrAcc, st.CondBranches)
+	fmt.Printf("L1D miss ratio    %.4f (measured windows)\n", out.DL1Miss)
+	fmt.Printf("UL2 local miss    %.4f (measured windows)\n", out.L2Local)
+	fmt.Printf("D-TLB miss ratio  %.5f (measured windows)\n", out.TLBMiss)
+	fmt.Printf("cycles measured   %d\n", st.Cycles)
 }
 
 // writeInstrTraces renders the core's lifecycle ring in the requested

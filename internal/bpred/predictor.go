@@ -159,6 +159,49 @@ func (p *Predictor) AttachTelemetry(reg *telemetry.Registry) {
 	reg.CounterFunc("bpred.btb.hits", func() uint64 { return p.btb.Hits })
 }
 
+// Clone returns a deep, independent copy of the predictor: direction
+// tables, chooser, BTB, RAS, and history. Sampled simulation hands each
+// interval's detailed core a clone of the persistently warmed predictor,
+// so in-window speculation — and the abandoned in-flight tail left when
+// an interval's budget expires — can never contaminate the warm state
+// later intervals inherit.
+func (p *Predictor) Clone() *Predictor {
+	q := *p
+	q.comb = &Combined{
+		Bim: &Bimodal{
+			table: append([]uint8(nil), p.comb.Bim.table...),
+			mask:  p.comb.Bim.mask,
+		},
+		Glob: &TwoLevel{
+			pht:      append([]uint8(nil), p.comb.Glob.pht...),
+			mask:     p.comb.Glob.mask,
+			HistBits: p.comb.Glob.HistBits,
+		},
+		choice: append([]uint8(nil), p.comb.choice...),
+		mask:   p.comb.mask,
+	}
+	btb := *p.btb
+	btb.tags = append([]uint64(nil), p.btb.tags...)
+	btb.targets = append([]uint64(nil), p.btb.targets...)
+	btb.valid = append([]bool(nil), p.btb.valid...)
+	btb.lru = append([]uint64(nil), p.btb.lru...)
+	q.btb = &btb
+	ras := *p.ras
+	ras.stack = append([]uint64(nil), p.ras.stack...)
+	q.ras = &ras
+	return &q
+}
+
+// ResetRAS empties the return-address stack while leaving every trained
+// structure (direction tables, history, BTB) untouched. Sampled
+// simulation calls it between measured intervals: an abandoned interval
+// leaves a shared predictor's RAS holding return addresses from a far
+// earlier program position, and popping those stale entries confidently
+// mispredicts every outer return of a deep call chain. An empty stack
+// instead re-fills within the detailed warmup, exactly as after a
+// checkpoint restore (WarmBranch deliberately never touches the RAS).
+func (p *Predictor) ResetRAS() { p.ras = NewRAS(len(p.ras.stack)) }
+
 // BTBStats reports BTB lookups and hits.
 func (p *Predictor) BTBStats() (lookups, hits uint64) { return p.btb.Lookups, p.btb.Hits }
 

@@ -167,3 +167,52 @@ func TestBTBStatsExposed(t *testing.T) {
 		t.Errorf("btb stats = (%d,%d)", l, h)
 	}
 }
+
+// TestCloneIndependence: training a clone must leave the original's
+// tables, BTB, RAS, and history untouched — sampled simulation depends
+// on the warm predictor staying architectural-stream-pure while each
+// interval's core speculates on its private clone.
+func TestCloneIndependence(t *testing.T) {
+	p := New(DefaultConfig())
+	in := condBr(1)
+	// Give the original some trained state worth protecting.
+	for i := 0; i < 8; i++ {
+		_, cp := p.Predict(40, in)
+		p.Commit(40, in, cp, true, 42)
+	}
+	p.WarmBranch(200, 300, true, false, true) // BTB entry
+	jal := isa.Instr{Op: isa.OpJal, Imm: 1}
+	p.Predict(64, jal) // RAS push: top = 65
+	ghr := p.GHR()
+
+	q := p.Clone()
+	// Train the clone hard the other way and churn its BTB and RAS.
+	for i := 0; i < 16; i++ {
+		_, cp := q.Predict(40, in)
+		q.Commit(40, in, cp, false, 0)
+	}
+	q.WarmBranch(200, 999, true, false, true)
+	q.Predict(500, isa.Instr{Op: isa.OpJr}) // RAS pop
+
+	if pr, _ := p.Predict(40, in); !pr.Taken {
+		t.Error("training the clone not-taken flipped the original's direction tables")
+	}
+	if tgt, ok := p.btb.Lookup(200); !ok || tgt != 300 {
+		t.Errorf("original BTB entry = (%d,%v), want (300,true)", tgt, ok)
+	}
+	if p.RASTop() != 65 {
+		t.Errorf("original RAS top = %d, want 65", p.RASTop())
+	}
+	// The original's own Predict above shifted its GHR once; the clone's
+	// extra 16 predictions must not be reflected beyond that.
+	if q.GHR() == ghr {
+		t.Error("clone GHR never moved despite 16 predictions")
+	}
+
+	// And the reverse: the original keeps evolving without moving the clone.
+	qTop := q.RASTop()
+	p.Predict(700, isa.Instr{Op: isa.OpJal, Imm: 1})
+	if q.RASTop() != qTop {
+		t.Error("pushing the original's RAS moved the clone's")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"largewindow/internal/core"
+	"largewindow/internal/sample"
 	"largewindow/internal/workload"
 )
 
@@ -38,6 +39,11 @@ type Cell struct {
 	// identity: the same benchmark measured after a different skip is a
 	// different experiment.
 	SkipInstr uint64
+	// Sampling, when non-nil, runs the cell as a SMARTS-style sampled
+	// simulation under the given plan instead of one contiguous detailed
+	// region. The plan is part of the cell identity — a different plan is
+	// a different experiment — and nil keeps pre-sampling cell IDs stable.
+	Sampling *sample.Plan
 }
 
 // cellKey is the canonical form hashed into a cell ID. Config marshals
@@ -49,9 +55,10 @@ type cellKey struct {
 	Config    core.Config `json:"config"`
 	Bench     string      `json:"bench"`
 	Scale     string      `json:"scale"`
-	MaxInstr  uint64      `json:"max_instr"`
-	MaxCycles int64       `json:"max_cycles"`
-	SkipInstr uint64      `json:"skip_instr,omitempty"`
+	MaxInstr  uint64       `json:"max_instr"`
+	MaxCycles int64        `json:"max_cycles"`
+	SkipInstr uint64       `json:"skip_instr,omitempty"`
+	Sampling  *sample.Plan `json:"sampling,omitempty"`
 }
 
 // idHexLen is the truncated hex length of a cell ID: 16 bytes of SHA-256,
@@ -67,6 +74,7 @@ func (c Cell) ID() string {
 		MaxInstr:  c.MaxInstr,
 		MaxCycles: c.MaxCycles,
 		SkipInstr: c.SkipInstr,
+		Sampling:  c.Sampling,
 	})
 	if err != nil {
 		// Config is a plain data struct; this cannot fail on real inputs.

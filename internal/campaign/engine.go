@@ -94,6 +94,13 @@ type Engine struct {
 	retries   atomic.Uint64 // transient retries performed
 	instrs    atomic.Uint64 // instructions committed by executed cells
 
+	// Sampled-simulation interval counters, fed by the executor through
+	// AddPlannedIntervals/IntervalDone. Nonzero planned switches the
+	// progress line from instrs/s (misleading for sampled cells, whose
+	// committed count covers only the measured windows) to interval k/N.
+	intervalsDone    atomic.Uint64
+	intervalsPlanned atomic.Uint64
+
 	start time.Time
 }
 
@@ -120,8 +127,17 @@ func NewEngine(exec ExecFunc, opt Options) *Engine {
 	e.reg.CounterFunc("campaign.cells.failed", e.failed.Load)
 	e.reg.CounterFunc("campaign.cells.retries", e.retries.Load)
 	e.reg.CounterFunc("campaign.instrs", e.instrs.Load)
+	e.reg.CounterFunc("campaign.intervals.done", e.intervalsDone.Load)
+	e.reg.CounterFunc("campaign.intervals.planned", e.intervalsPlanned.Load)
 	return e
 }
+
+// AddPlannedIntervals registers n upcoming measured intervals of a
+// sampled cell starting execution.
+func (e *Engine) AddPlannedIntervals(n uint64) { e.intervalsPlanned.Add(n) }
+
+// IntervalDone marks one measured interval of a sampled cell complete.
+func (e *Engine) IntervalDone() { e.intervalsDone.Add(1) }
 
 // Registry exposes the engine's metrics (cells done/total, aggregate
 // instruction throughput) for progress rendering and telemetry sampling.
@@ -335,6 +351,11 @@ type Snapshot struct {
 	HasCheckpoints bool
 	CkptBuilt      uint64 // functional fast-forward passes executed
 	CkptReused     uint64 // checkpoint requests served from cache
+
+	// Sampled-simulation interval progress (zero unless the campaign ran
+	// sampled cells).
+	IntervalsDone    uint64
+	IntervalsPlanned uint64
 }
 
 // Snapshot reads the engine's progress counters.
@@ -348,6 +369,9 @@ func (e *Engine) Snapshot() Snapshot {
 		Retries:   e.retries.Load(),
 		Instrs:    e.instrs.Load(),
 		Elapsed:   time.Since(e.start),
+
+		IntervalsDone:    e.intervalsDone.Load(),
+		IntervalsPlanned: e.intervalsPlanned.Load(),
 	}
 	if e.opt.Checkpoints != nil {
 		s.HasCheckpoints = true

@@ -86,7 +86,14 @@ func renderLine(s Snapshot, expected uint64) string {
 	if s.HasCheckpoints && s.CkptBuilt+s.CkptReused > 0 {
 		line += fmt.Sprintf(" · ckpt %d built/%d reused", s.CkptBuilt, s.CkptReused)
 	}
-	line += fmt.Sprintf(" · %s instrs/s", siFormat(rate))
+	if s.IntervalsPlanned > 0 {
+		// Sampled campaign: committed instructions cover only the measured
+		// windows, so an instrs/s figure would wildly understate real
+		// progress. Show measured-interval progress instead.
+		line += fmt.Sprintf(" · interval %d/%d", s.IntervalsDone, s.IntervalsPlanned)
+	} else {
+		line += fmt.Sprintf(" · %s instrs/s", siFormat(rate))
+	}
 	if eta, ok := renderETA(s, total); ok {
 		line += " · ETA " + eta
 	}

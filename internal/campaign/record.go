@@ -4,15 +4,16 @@ import (
 	"encoding/json"
 
 	"largewindow/internal/core"
+	"largewindow/internal/sample"
 	"largewindow/internal/schema"
 )
 
 // Record is the persisted outcome of one executed cell: the cell's
 // identity and labels plus every metric the experiment tables consume.
 // Records are written as schema-versioned JSON; decoding accepts any
-// version up to schema.ResultVersion and rejects newer ones, and a
-// golden-file test pins the v1 encoding so future schema changes cannot
-// silently orphan existing caches.
+// version up to schema.ResultVersion and rejects newer ones, and
+// golden-file tests pin the v1 and v2 encodings so future schema changes
+// cannot silently orphan existing caches.
 type Record struct {
 	SchemaVersion int `json:"schema_version"`
 
@@ -30,15 +31,31 @@ type Record struct {
 	DL1Miss float64    `json:"dl1_miss"`
 	L2Local float64    `json:"l2_local"`
 	BrAcc   float64    `json:"br_acc"`
+
+	// Sampled-run fields (schema v2): present only when the cell ran
+	// under a sampling plan. IPC above then holds the sampled point
+	// estimate (mean of interval IPCs); IPCCI95 is the Student-t 95%
+	// confidence half-width around it.
+	Sampling     *sample.Plan `json:"sampling,omitempty"`
+	Intervals    int          `json:"intervals,omitempty"`
+	IPCStdDev    float64      `json:"ipc_stddev,omitempty"`
+	IPCCI95      float64      `json:"ipc_ci95,omitempty"`
+	IntervalIPCs []float64    `json:"interval_ipcs,omitempty"`
 }
 
 // recordWire avoids MarshalJSON/UnmarshalJSON recursion.
 type recordWire Record
 
-// MarshalJSON stamps the record with the current result schema version.
+// MarshalJSON stamps the record with its result schema version: v1 for
+// plain cells (byte-identical to pre-sampling encoders, so existing
+// caches and fixtures stay valid) and v2 when sampling fields are
+// present.
 func (r *Record) MarshalJSON() ([]byte, error) {
 	w := recordWire(*r)
-	w.SchemaVersion = schema.ResultVersion
+	w.SchemaVersion = 1
+	if w.Sampling != nil {
+		w.SchemaVersion = schema.ResultVersion
+	}
 	return json.Marshal(&w)
 }
 

@@ -1,0 +1,129 @@
+package campaign
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"largewindow/internal/sample"
+)
+
+// TestCellIDSamplingIdentity: the sampling plan is part of the cell
+// identity — different plans name different cache entries — while a nil
+// plan keeps the canonical key byte-identical to the pre-sampling
+// encoding, so every existing cache entry keeps its ID.
+func TestCellIDSamplingIdentity(t *testing.T) {
+	plain := testCell("", 64, "gzip")
+	data, err := json.Marshal(cellKey{
+		Config:    plain.Config,
+		Bench:     plain.Bench,
+		Scale:     plain.Scale.String(),
+		MaxInstr:  plain.MaxInstr,
+		MaxCycles: plain.MaxCycles,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "sampling") {
+		t.Errorf("nil-sampling cell key leaks a sampling field (cache IDs would all change): %s", data)
+	}
+
+	sampled := plain
+	sampled.Sampling = &sample.Plan{Intervals: 10, Period: 30000, Length: 1000, Warmup: 500}
+	if sampled.ID() == plain.ID() {
+		t.Error("sampled and plain cells share an ID")
+	}
+	other := plain
+	other.Sampling = &sample.Plan{Intervals: 10, Period: 30000, Length: 1000, Warmup: 501}
+	if other.ID() == sampled.ID() {
+		t.Error("different plans share an ID")
+	}
+	same := plain
+	same.Sampling = &sample.Plan{Intervals: 10, Period: 30000, Length: 1000, Warmup: 500}
+	if same.ID() != sampled.ID() {
+		t.Error("equal plans produced different IDs")
+	}
+}
+
+// TestRecordV1ByteStable: a record without sampling fields must encode
+// with schema_version 1 and no sampling keys — byte-identical to what
+// pre-sampling releases wrote, so their readers (and the golden v1 file)
+// stay valid.
+func TestRecordV1ByteStable(t *testing.T) {
+	rec, _ := fakeExec(testCell("", 64, "gzip"))
+	rec.CellID = "abc123"
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, `"schema_version":1`) {
+		t.Errorf("unsampled record not stamped v1: %s", s)
+	}
+	for _, key := range []string{"sampling", "intervals", "ipc_stddev", "ipc_ci95", "interval_ipcs"} {
+		if strings.Contains(s, `"`+key+`"`) {
+			t.Errorf("unsampled record leaks sampled field %q: %s", key, s)
+		}
+	}
+}
+
+// TestRecordSampledRoundTrip: sampled records stamp v2 and carry their
+// plan and estimators through an encode/decode cycle.
+func TestRecordSampledRoundTrip(t *testing.T) {
+	rec, _ := fakeExec(testCell("", 64, "gzip"))
+	rec.CellID = "abc123"
+	rec.Sampling = &sample.Plan{Intervals: 3, Period: 10000, Length: 500, Warmup: 250, Seed: 7, Random: true}
+	rec.Intervals = 3
+	rec.IPCStdDev = 0.12
+	rec.IPCCI95 = 0.3
+	rec.IntervalIPCs = []float64{1.1, 1.3, 1.2}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"schema_version":2`) {
+		t.Errorf("sampled record not stamped v2: %s", data)
+	}
+	var back Record
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Sampling == nil || *back.Sampling != *rec.Sampling {
+		t.Errorf("plan lost in round trip: %+v", back.Sampling)
+	}
+	if back.IPCCI95 != 0.3 || back.IPCStdDev != 0.12 || back.Intervals != 3 || len(back.IntervalIPCs) != 3 {
+		t.Errorf("estimators lost in round trip: %+v", back)
+	}
+}
+
+// TestRecordGoldenV2 pins the v2 on-disk encoding the same way the v1
+// golden does: the checked-in sampled record must keep decoding with its
+// plan and confidence interval intact.
+func TestRecordGoldenV2(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "record_v2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("golden v2 record no longer decodes: %v", err)
+	}
+	if rec.SchemaVersion != 2 || rec.Bench != "mgrid" || rec.Config != "WIB/2048" {
+		t.Errorf("golden labels: %+v", rec)
+	}
+	if rec.Sampling == nil {
+		t.Fatal("golden sampling plan lost in decode")
+	}
+	want := sample.Plan{Intervals: 50, Period: 200000, Length: 2000, Warmup: 2000}
+	if *rec.Sampling != want {
+		t.Errorf("golden plan = %+v, want %+v", *rec.Sampling, want)
+	}
+	if rec.Intervals != 50 || rec.IPCCI95 != 0.0812 || rec.IPCStdDev != 0.2861 {
+		t.Errorf("golden estimators: intervals=%d ci=%v sd=%v", rec.Intervals, rec.IPCCI95, rec.IPCStdDev)
+	}
+	if len(rec.IntervalIPCs) != 3 || rec.IntervalIPCs[1] != 2.41 {
+		t.Errorf("golden interval IPCs: %v", rec.IntervalIPCs)
+	}
+}

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 
+	"largewindow/internal/bpred"
 	"largewindow/internal/emu"
 	"largewindow/internal/isa"
+	"largewindow/internal/mem"
 )
 
 // warmSink adapts the processor's cache hierarchy and branch predictor to
@@ -17,6 +19,32 @@ func (w warmSink) WarmLoad(addr uint64)  { w.p.hier.WarmLoad(addr) }
 func (w warmSink) WarmStore(addr uint64) { w.p.hier.WarmStore(addr) }
 func (w warmSink) WarmBranch(b emu.WarmBranch) {
 	w.p.bp.WarmBranch(b.PC, b.Target, b.Taken, b.Cond, b.BTB)
+}
+
+// AdoptWarmState replaces the processor's cold cache hierarchy and branch
+// predictor with externally warmed ones. Sampled simulation keeps one
+// hierarchy and predictor alive per cell, feeds them the program's full
+// functional access stream between measured intervals (emu.Machine.RunSink),
+// and hands them to each interval's fresh processor — full-history warming,
+// where a checkpoint's bounded warm rings only replay a tail.
+//
+// The hierarchy and predictor must have been built from the same Config
+// the processor was (geometry is the caller's responsibility), and the
+// call must precede Run, on a freshly constructed processor. The caller
+// must also clear cycle-stamped transients (Hierarchy.ResetTiming) when
+// the adopted state last served a processor whose clock ran ahead.
+func (p *Processor) AdoptWarmState(h *mem.Hierarchy, bp *bpred.Predictor) error {
+	if p.now != 0 || p.stats.Committed != 0 || p.nextSeq != 1 {
+		return fmt.Errorf("core: AdoptWarmState on a processor that already ran (cycle %d, %d committed)",
+			p.now, p.stats.Committed)
+	}
+	if h != nil {
+		p.hier = h
+	}
+	if bp != nil {
+		p.bp = bp
+	}
+	return nil
 }
 
 // RestoreCheckpoint starts the timing simulation from a functional

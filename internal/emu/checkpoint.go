@@ -131,7 +131,8 @@ func (w *WarmLog) Counts() (mem, fetch, branch uint64) {
 	return w.mem.n, w.fetch.n, w.branch.n
 }
 
-// WarmSink receives a warm log's replayed access stream. The timing core
+// WarmSink receives a functional access stream — either a warm log's
+// replay or the emulator's live stream (Machine.RunSink). The timing core
 // implements it over its cache hierarchy and branch predictor with
 // stat-free warm-touch operations.
 type WarmSink interface {
@@ -140,6 +141,20 @@ type WarmSink interface {
 	WarmStore(addr uint64)
 	WarmBranch(b WarmBranch)
 }
+
+// WarmLog itself is a WarmSink: the emulator's run loop records through
+// the same interface a live hierarchy adapter implements, so ring capture
+// (RunWarm) and full-history streaming (RunSink) share one code path.
+func (w *WarmLog) WarmFetch(lineAddr uint64) { w.fetch.push(lineAddr) }
+
+// WarmLoad records a data load address.
+func (w *WarmLog) WarmLoad(addr uint64) { w.mem.push(addr << 1) }
+
+// WarmStore records a data store address.
+func (w *WarmLog) WarmStore(addr uint64) { w.mem.push(addr<<1 | 1) }
+
+// WarmBranch records a control-transfer outcome.
+func (w *WarmLog) WarmBranch(b WarmBranch) { w.branch.push(b) }
 
 // Replay feeds the retained access stream into a sink, oldest-first per
 // ring (fetch lines, then data accesses, then branches).
@@ -183,7 +198,9 @@ type Checkpoint struct {
 }
 
 // Checkpoint captures the machine's complete architectural state. The
-// memory image is deep-copied, so the machine may keep running.
+// memory image is a frozen copy-on-write snapshot — O(pages) to take, not
+// O(bytes) — so the machine may keep running (its first write to each
+// page copies it) and the checkpoint may be restored concurrently.
 func (m *Machine) Checkpoint() *Checkpoint {
 	cp := &Checkpoint{
 		Bench:      m.Prog.Name,
@@ -200,6 +217,7 @@ func (m *Machine) Checkpoint() *Checkpoint {
 	for c, n := range m.ClassMix {
 		cp.ClassMix[c] = n
 	}
+	cp.Mem.Freeze()
 	return cp
 }
 
@@ -393,6 +411,9 @@ func (cp *Checkpoint) UnmarshalJSON(data []byte) error {
 		}
 		out.Mem.SetPage(pg.Index, words)
 	}
+	// Decoded checkpoints are shared across concurrent restorers exactly
+	// like freshly built ones; freeze the image so COW clones are safe.
+	out.Mem.Freeze()
 	if len(w.WarmCaps) == 3 {
 		warm := NewWarmLog(w.WarmCaps[0], w.WarmCaps[1], w.WarmCaps[2])
 		mem, err := unpackWords(w.WarmMem)

@@ -117,7 +117,20 @@ func (m *Machine) Run(maxInstr uint64) (uint64, error) {
 // into the warm log's bounded rings, for replay into a timing core's
 // caches, TLB, and branch predictor when a checkpoint is restored.
 func (m *Machine) RunWarm(maxInstr uint64, warm *WarmLog) (uint64, error) {
+	if warm == nil {
+		return m.run(maxInstr, nil)
+	}
 	return m.run(maxInstr, warm)
+}
+
+// RunSink is Run with live warm streaming: every executed access is fed
+// directly into the sink as it happens, with no ring bound. Feeding a
+// timing core's cache hierarchy and branch predictor this way keeps them
+// functionally warm with the program's FULL access history — sampled
+// simulation uses it between measured intervals, where the bounded tail
+// a WarmLog retains is not enough to reconverge large caches.
+func (m *Machine) RunSink(maxInstr uint64, sink WarmSink) (uint64, error) {
+	return m.run(maxInstr, sink)
 }
 
 func (m *Machine) readSrc(r isa.RegRef) uint64 {

@@ -58,10 +58,11 @@ func predecode(p *isa.Program) []decoded {
 // hoisted out. Hot state (PC, stream hash, class counts) lives in locals
 // and is flushed back to the Machine on every exit path.
 //
-// When warm is non-nil the loop also records the access stream —
+// When warm is non-nil the loop also feeds the access stream —
 // instruction-fetch lines, data addresses, and branch outcomes — into the
-// warm log's bounded rings for cache/TLB/predictor warming at restore.
-func (m *Machine) run(maxInstr uint64, warm *WarmLog) (uint64, error) {
+// sink: a WarmLog's bounded rings for checkpoint capture, or a live
+// cache-hierarchy adapter for full-history functional warming.
+func (m *Machine) run(maxInstr uint64, warm WarmSink) (uint64, error) {
 	dec := predecode(m.Prog)
 	code := m.Prog.Code
 	var classCnt [isa.NumClasses]uint64
@@ -94,7 +95,7 @@ func (m *Machine) run(maxInstr uint64, warm *WarmLog) (uint64, error) {
 		hash = mixHash(hash, pc)
 		if warm != nil {
 			if line := (pc * 8) &^ 63; line != lastFetchLine {
-				warm.fetch.push(line)
+				warm.WarmFetch(line)
 				lastFetchLine = line
 			}
 		}
@@ -121,13 +122,13 @@ func (m *Machine) run(maxInstr uint64, warm *WarmLog) (uint64, error) {
 			addr := isa.EffAddr(code[pc], rs1)
 			m.writeDest(d.dest, m.Mem.ReadWord(addr))
 			if warm != nil {
-				warm.mem.push(addr << 1)
+				warm.WarmLoad(addr)
 			}
 		case isa.ClassStore:
 			addr := isa.EffAddr(code[pc], rs1)
 			m.Mem.WriteWord(addr, rs2)
 			if warm != nil {
-				warm.mem.push(addr<<1 | 1)
+				warm.WarmStore(addr)
 			}
 		case isa.ClassBranch:
 			condCount++
@@ -137,25 +138,25 @@ func (m *Machine) run(maxInstr uint64, warm *WarmLog) (uint64, error) {
 				next = d.target
 			}
 			if warm != nil {
-				warm.branch.push(WarmBranch{PC: pc, Target: d.target, Taken: taken, Cond: true, BTB: taken})
+				warm.WarmBranch(WarmBranch{PC: pc, Target: d.target, Taken: taken, Cond: true, BTB: taken})
 			}
 		case isa.ClassJump:
 			switch d.op {
 			case isa.OpJr:
 				next = rs1
 				if warm != nil {
-					warm.branch.push(WarmBranch{PC: pc, Target: rs1, Taken: true})
+					warm.WarmBranch(WarmBranch{PC: pc, Target: rs1, Taken: true})
 				}
 			case isa.OpJal:
 				m.writeDest(d.dest, isa.Eval(code[pc], rs1, rs2, pc))
 				next = d.target
 				if warm != nil {
-					warm.branch.push(WarmBranch{PC: pc, Target: d.target, Taken: true, BTB: true})
+					warm.WarmBranch(WarmBranch{PC: pc, Target: d.target, Taken: true, BTB: true})
 				}
 			default: // OpJ
 				next = d.target
 				if warm != nil {
-					warm.branch.push(WarmBranch{PC: pc, Target: d.target, Taken: true, BTB: true})
+					warm.WarmBranch(WarmBranch{PC: pc, Target: d.target, Taken: true, BTB: true})
 				}
 			}
 		case isa.ClassHalt:

@@ -331,9 +331,21 @@ func (s *Session) Table2() ([]*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Sampled sessions qualify each IPC with its 95% confidence half-width.
+	sampled := s.opt.Sampling != nil
+	ipc := func(r *Result) any {
+		if sampled {
+			return fmt.Sprintf("%.3f ±%.3f", r.IPC, r.IPCCI95)
+		}
+		return r.IPC
+	}
+	baseHdr, wibHdr := "base IPC", "WIB IPC"
+	if sampled {
+		baseHdr, wibHdr = "base IPC ±CI", "WIB IPC ±CI"
+	}
 	t := &stats.Table{
 		Title:   "Table 2: benchmark performance statistics",
-		Headers: []string{"benchmark", "base IPC", "branch dir pred", "DL1 miss ratio", "UL2 local miss", "WIB IPC"},
+		Headers: []string{"benchmark", baseHdr, "branch dir pred", "DL1 miss ratio", "UL2 local miss", wibHdr},
 	}
 	for _, suite := range suites {
 		var baseIPCs, wibIPCs []float64
@@ -342,13 +354,16 @@ func (s *Session) Table2() ([]*stats.Table, error) {
 				continue
 			}
 			b, w := base[sp.Name], wib[sp.Name]
-			t.AddRow(sp.Name, b.IPC, b.BrAcc, b.DL1Miss, b.L2Local, w.IPC)
+			t.AddRow(sp.Name, ipc(b), b.BrAcc, b.DL1Miss, b.L2Local, ipc(w))
 			baseIPCs = append(baseIPCs, b.IPC)
 			wibIPCs = append(wibIPCs, w.IPC)
 		}
 		t.AddRow(fmt.Sprintf("HM (%s)", suite), stats.HarmonicMean(baseIPCs), "", "", "", stats.HarmonicMean(wibIPCs))
 	}
 	t.AddNote("paper harmonic means: base 1.00/1.42/1.17, WIB 1.24/3.02/1.61 (INT/FP/Olden)")
+	if sampled {
+		t.AddNote("sampled run (%s): IPCs are point estimates ± 95%% CI over interval IPCs", s.opt.Sampling)
+	}
 	return []*stats.Table{t}, nil
 }
 

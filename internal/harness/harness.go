@@ -27,6 +27,7 @@ import (
 	"largewindow/internal/core"
 	"largewindow/internal/emu"
 	"largewindow/internal/isa"
+	"largewindow/internal/sample"
 	"largewindow/internal/stats"
 	"largewindow/internal/telemetry"
 	"largewindow/internal/workload"
@@ -104,6 +105,14 @@ type Options struct {
 	// through the session's checkpoint cache and persisted under
 	// CacheDir/ckpt when a cache directory is configured.
 	SkipInstr uint64
+	// Sampling, when non-nil, runs every cell as a SMARTS-style sampled
+	// simulation under this plan (internal/sample): the functional
+	// emulator carries each benchmark between many short detailed
+	// windows, and the cell's IPC becomes the mean of the window IPCs
+	// with a 95% confidence interval. Sampled cells ignore SkipInstr,
+	// MaxInstr, PreRun, and TelemetryDir — the plan defines the simulated
+	// region, and the detailed core is recreated per interval.
+	Sampling *sample.Plan
 }
 
 func (o Options) withDefaults() Options {
@@ -132,6 +141,14 @@ type Result struct {
 	L2Local float64 // unified L2 local miss ratio
 	BrAcc   float64 // conditional-branch direction accuracy
 	Err     error   // non-nil: the cell failed (SimError or panic)
+
+	// Sampled-run statistics, set only when the cell ran under a sampling
+	// plan. IPC above is then the sampled point estimate; IPCCI95 is the
+	// Student-t 95% confidence half-width around it.
+	Sampling  *sample.Plan
+	Intervals int
+	IPCStdDev float64
+	IPCCI95   float64
 }
 
 // viewCell is the session's once-per-cell view over the engine: the
@@ -159,6 +176,11 @@ type Session struct {
 	view     map[string]*viewCell
 	failures []*Result
 	storeErr error
+
+	// progLen memoizes measured program lengths ("bench/scale" → uint64)
+	// so auto-period sampling plans pay one sizing pass per benchmark, not
+	// one per cell (a Fig.4-style sweep runs several configs per kernel).
+	progLen sync.Map
 }
 
 // NewSession creates a harness session. When opt.CacheDir is set, the
@@ -242,6 +264,7 @@ func (s *Session) cell(cfg core.Config, bench string) campaign.Cell {
 		MaxInstr:  s.opt.MaxInstr,
 		MaxCycles: s.opt.MaxCycles,
 		SkipInstr: s.opt.SkipInstr,
+		Sampling:  s.opt.Sampling,
 	}
 }
 
@@ -307,14 +330,18 @@ func recordToResult(rec *campaign.Record, spec workload.Spec) *Result {
 		suite = parsed
 	}
 	return &Result{
-		Bench:   rec.Bench,
-		Suite:   suite,
-		Config:  rec.Config,
-		IPC:     rec.IPC,
-		Stats:   rec.Stats,
-		DL1Miss: rec.DL1Miss,
-		L2Local: rec.L2Local,
-		BrAcc:   rec.BrAcc,
+		Bench:     rec.Bench,
+		Suite:     suite,
+		Config:    rec.Config,
+		IPC:       rec.IPC,
+		Stats:     rec.Stats,
+		DL1Miss:   rec.DL1Miss,
+		L2Local:   rec.L2Local,
+		BrAcc:     rec.BrAcc,
+		Sampling:  rec.Sampling,
+		Intervals: rec.Intervals,
+		IPCStdDev: rec.IPCStdDev,
+		IPCCI95:   rec.IPCCI95,
 	}
 }
 
@@ -328,6 +355,9 @@ func (s *Session) execCell(cell campaign.Cell) (*campaign.Record, error) {
 	}
 	cfg := cell.Config
 	prog := spec.Build(cell.Scale)
+	if cell.Sampling != nil {
+		return s.execSampledCell(cell, spec, prog)
+	}
 	p, err := core.New(cfg, prog)
 	if err != nil {
 		return nil, err
@@ -389,6 +419,73 @@ func (s *Session) execCell(cell campaign.Cell) (*campaign.Record, error) {
 	if s.opt.Log != nil {
 		fmt.Fprintf(s.opt.Log, "  ran %-10s on %-16s IPC=%.3f cycles=%d dl1=%.3f l2=%.3f\n",
 			spec.Name, cfg.Name, rec.IPC, rec.Stats.Cycles, rec.DL1Miss, rec.L2Local)
+	}
+	return rec, nil
+}
+
+// execSampledCell runs one cell under its sampling plan: the functional
+// emulator carries the benchmark between the plan's detailed windows and
+// the record aggregates the measured windows into a point estimate with
+// a confidence interval. Interval completions feed the engine's progress
+// counters so a sampled campaign's progress line shows interval k/N.
+func (s *Session) execSampledCell(cell campaign.Cell, spec workload.Spec, prog *isa.Program) (*campaign.Record, error) {
+	plan := *cell.Sampling
+	if !plan.Resolved() {
+		key := cell.Bench + "/" + cell.Scale.String()
+		v, ok := s.progLen.Load(key)
+		if !ok {
+			total, err := sample.ProgramLength(prog)
+			if err != nil {
+				return nil, err
+			}
+			v, _ = s.progLen.LoadOrStore(key, total)
+		}
+		plan = plan.Resolve(v.(uint64))
+	}
+	ctx := s.opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.opt.RunDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opt.RunDeadline)
+		defer cancel()
+	}
+	s.eng.AddPlannedIntervals(uint64(plan.Intervals))
+	out, err := sample.Run(ctx, cell.Config, prog, plan, cell.MaxCycles,
+		func(done, planned int) { s.eng.IntervalDone() })
+	if err != nil {
+		var se *core.SimError
+		if errors.As(err, &se) {
+			se.Bench = spec.Name
+			se.Scale = cell.Scale.String()
+		}
+		return nil, err
+	}
+	rec := &campaign.Record{
+		Config:    cell.Config.Name,
+		Bench:     spec.Name,
+		Suite:     spec.Suite.String(),
+		Scale:     cell.Scale.String(),
+		MaxInstr:  cell.MaxInstr,
+		MaxCycles: cell.MaxCycles,
+		SkipInstr: cell.SkipInstr,
+
+		IPC:     out.MeanIPC,
+		Stats:   out.Stats,
+		DL1Miss: out.DL1Miss,
+		L2Local: out.L2Local,
+		BrAcc:   out.BrAcc,
+
+		Sampling:     cell.Sampling,
+		Intervals:    len(out.IntervalIPCs),
+		IPCStdDev:    out.IPCStdDev,
+		IPCCI95:      out.IPCCI95,
+		IntervalIPCs: out.IntervalIPCs,
+	}
+	if s.opt.Log != nil {
+		fmt.Fprintf(s.opt.Log, "  ran %-10s on %-16s IPC=%.3f ±%.3f (%d intervals) dl1=%.3f l2=%.3f\n",
+			spec.Name, cell.Config.Name, rec.IPC, rec.IPCCI95, rec.Intervals, rec.DL1Miss, rec.L2Local)
 	}
 	return rec, nil
 }

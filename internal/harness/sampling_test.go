@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"largewindow/internal/core"
+	"largewindow/internal/sample"
+	"largewindow/internal/workload"
+)
+
+// sampledCampaignBytes runs a small sampled campaign and returns its
+// records as canonical JSON: every cell's persisted record, sorted by
+// cell ID, marshaled as one blob.
+func sampledCampaignBytes(t *testing.T, parallel int) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	s := NewSession(Options{
+		Scale:    workload.ScaleTest,
+		Parallel: parallel,
+		CacheDir: dir,
+		Sampling: &sample.Plan{Intervals: 4, Period: 2000, Length: 200, Warmup: 200, Seed: 11, Random: true},
+		Benchmarks: []string{
+			"mgrid", "treeadd", "gzip",
+		},
+	})
+	for _, cfg := range []core.Config{core.DefaultConfig(), core.WIBDefault()} {
+		if _, err := s.RunAll(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store := s.Store()
+	if store == nil {
+		t.Fatal("no store")
+	}
+	ids, err := store.IDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(ids)
+	if len(ids) != 6 {
+		t.Fatalf("campaign persisted %d records, want 6", len(ids))
+	}
+	var blob bytes.Buffer
+	for _, id := range ids {
+		rec, err := store.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob.Write(data)
+		blob.WriteByte('\n')
+	}
+	return blob.Bytes()
+}
+
+// TestSampledCampaignDeterministic: the same plan must yield
+// byte-identical records across repeated runs AND across worker-pool
+// widths — sampled cells are single-threaded internally, so campaign
+// parallelism must never leak into results.
+func TestSampledCampaignDeterministic(t *testing.T) {
+	ref := sampledCampaignBytes(t, 1)
+	for _, par := range []int{1, 4} {
+		if got := sampledCampaignBytes(t, par); !bytes.Equal(got, ref) {
+			t.Errorf("parallel=%d records differ from the parallel=1 reference", par)
+		}
+	}
+}
+
+// TestSampledSessionResults: the harness view carries the sampled
+// estimators through record conversion, and sampled cells resolve through
+// the persistent cache exactly like detailed ones (a resumed session
+// recomputes nothing).
+func TestSampledSessionResults(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{
+		Scale:      workload.ScaleTest,
+		CacheDir:   dir,
+		Sampling:   &sample.Plan{Intervals: 3, Period: 2000, Length: 200, Warmup: 200},
+		Benchmarks: []string{"mgrid"},
+	}
+	spec, _ := workload.Get("mgrid")
+	s := NewSession(opt)
+	res, err := s.Run(core.WIBDefault(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sampling == nil || res.Intervals != 3 {
+		t.Fatalf("sampled result missing plan/intervals: %+v", res)
+	}
+	if res.IPC <= 0 || res.IPCStdDev < 0 || res.IPCCI95 < 0 {
+		t.Errorf("sampled estimators: IPC=%v sd=%v ci=%v", res.IPC, res.IPCStdDev, res.IPCCI95)
+	}
+	if res.Stats.Skipped == 0 {
+		t.Error("sampled result records no functional coverage (Skipped == 0)")
+	}
+
+	opt.Resume = true
+	s2 := NewSession(opt)
+	res2, err := s2.Run(core.WIBDefault(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap := s2.Campaign().Snapshot(); snap.Executed != 0 || snap.CacheHits != 1 {
+		t.Errorf("resumed sampled cell re-executed: %+v", snap)
+	}
+	if res2.IPC != res.IPC || res2.IPCCI95 != res.IPCCI95 {
+		t.Errorf("cache-served sampled result differs: %v±%v vs %v±%v",
+			res2.IPC, res2.IPCCI95, res.IPC, res.IPCCI95)
+	}
+}

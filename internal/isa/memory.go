@@ -9,10 +9,21 @@ import (
 // space accessed in aligned 8-byte words, backed by 4KB pages allocated on
 // first touch. Unwritten locations read as zero. The same type backs the
 // functional emulator's state and the timing core's committed state.
+//
+// Clone is copy-on-write: the child shares the parent's page slices and
+// either side copies a page on its first write to it. A Frozen memory is
+// an immutable snapshot — writes panic, and Clones of it never touch the
+// parent, so one frozen image (a shared checkpoint) can be cloned from
+// many goroutines concurrently.
 type Memory struct {
 	pages map[uint64][]uint64
-	// dirty tracks pages written since the last Checksum, purely as an
-	// iteration aid; semantics do not depend on it.
+	// shared marks pages whose backing slice is aliased with another
+	// Memory (a COW parent or child); a write to a shared page copies it
+	// first. nil until the first Clone touches this Memory.
+	shared map[uint64]bool
+	// frozen forbids writes: the memory is an immutable snapshot whose
+	// pages are permanently shared with its clones.
+	frozen bool
 	reads  uint64
 	writes uint64
 }
@@ -43,14 +54,25 @@ func (m *Memory) ReadWord(addr uint64) uint64 {
 	return pg[i]
 }
 
-// WriteWord stores an aligned 8-byte word at addr.
+// WriteWord stores an aligned 8-byte word at addr. Writing to a Frozen
+// memory panics: frozen images are shared snapshots (checkpoints) whose
+// clones alias their pages.
 func (m *Memory) WriteWord(addr, val uint64) {
+	if m.frozen {
+		panic(fmt.Sprintf("isa: write to frozen memory (addr %#x)", addr))
+	}
 	m.writes++
 	p, i := pageOf(addr)
 	pg, ok := m.pages[p]
 	if !ok {
 		pg = make([]uint64, wordsPerPage)
 		m.pages[p] = pg
+	} else if m.shared != nil && m.shared[p] {
+		npg := make([]uint64, wordsPerPage)
+		copy(npg, pg)
+		m.pages[p] = npg
+		delete(m.shared, p)
+		pg = npg
 	}
 	pg[i] = val
 }
@@ -68,17 +90,40 @@ func (m *Memory) Load(image map[uint64]uint64) {
 	}
 }
 
-// Clone returns a deep copy. Used to run the same program image through
-// the emulator and the pipeline independently.
+// Clone returns an independent copy. The copy is lazy: parent and child
+// share page slices until one of them writes, when the writer copies just
+// that page — so cloning a checkpoint image costs O(pages) map inserts,
+// not O(bytes) of memcpy. Cloning a Frozen memory does not mutate the
+// parent at all (its pages are permanently shared), which makes
+// concurrent Clones of one frozen checkpoint safe.
 func (m *Memory) Clone() *Memory {
-	c := NewMemory()
+	c := &Memory{
+		pages:  make(map[uint64][]uint64, len(m.pages)),
+		shared: make(map[uint64]bool, len(m.pages)),
+	}
 	for p, pg := range m.pages {
-		npg := make([]uint64, wordsPerPage)
-		copy(npg, pg)
-		c.pages[p] = npg
+		c.pages[p] = pg
+		c.shared[p] = true
+	}
+	if !m.frozen {
+		if m.shared == nil {
+			m.shared = make(map[uint64]bool, len(m.pages))
+		}
+		for p := range m.pages {
+			m.shared[p] = true
+		}
 	}
 	return c
 }
+
+// Freeze turns the memory into an immutable snapshot: further writes
+// panic, and Clone stops book-keeping on the parent (every page is
+// permanently shared). Checkpoint images are frozen before they are
+// handed to concurrent restorers.
+func (m *Memory) Freeze() { m.frozen = true }
+
+// Frozen reports whether the memory is an immutable snapshot.
+func (m *Memory) Frozen() bool { return m.frozen }
 
 // Checksum folds every non-zero word (with its address) into a 64-bit FNV
 // style hash. Two memories with identical contents produce identical
@@ -129,12 +174,18 @@ func (m *Memory) PageWords(page uint64) []uint64 {
 // SetPage installs a full page of words at the given page index. words
 // must hold exactly PageBytes/8 entries; the page contents are copied.
 func (m *Memory) SetPage(page uint64, words []uint64) {
+	if m.frozen {
+		panic(fmt.Sprintf("isa: SetPage on frozen memory (page %d)", page))
+	}
 	if len(words) != wordsPerPage {
 		panic(fmt.Sprintf("isa: SetPage with %d words (want %d)", len(words), wordsPerPage))
 	}
 	pg := make([]uint64, wordsPerPage)
 	copy(pg, words)
 	m.pages[page] = pg
+	if m.shared != nil {
+		delete(m.shared, page)
+	}
 }
 
 // Stats reports the number of word reads and writes performed.

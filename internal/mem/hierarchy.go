@@ -88,6 +88,16 @@ func NewHierarchy(cfg Config) *Hierarchy {
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
+// ResetTiming discards transient, cycle-stamped state — the outstanding
+// line fills — while keeping every cache, TLB, and LRU content intact.
+// Sampled simulation calls it between measured intervals: each interval's
+// processor restarts its clock at zero, so fills stamped with the previous
+// interval's cycles would otherwise read as permanently in flight.
+func (h *Hierarchy) ResetTiming() {
+	h.inflightL1D = newInflightTable()
+	h.inflightL1I = newInflightTable()
+}
+
 // lineFill is one outstanding fill: the line address and the cycle at
 // which its data arrives.
 type lineFill struct {
@@ -274,4 +284,14 @@ func (h *Hierarchy) TLBMissRatio() float64 {
 		return 0
 	}
 	return h.tlb.MissRatio()
+}
+
+// TLBStats returns the D-TLB's raw access/miss counters (zeros if the TLB
+// is disabled). Sampled runs snapshot them around each measured window to
+// aggregate interval-only ratios.
+func (h *Hierarchy) TLBStats() (accesses, misses uint64) {
+	if h.tlb == nil {
+		return 0, 0
+	}
+	return h.tlb.Accesses, h.tlb.Misses
 }

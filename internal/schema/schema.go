@@ -18,8 +18,11 @@ import (
 // with the previous version.
 const (
 	// ResultVersion covers campaign cell records and the public
-	// largewindow.Result encoding.
-	ResultVersion = 1
+	// largewindow.Result encoding. Version 2 adds the sampled-simulation
+	// fields (plan, interval IPCs, stddev, 95% CI); encoders stamp v1 when
+	// those fields are absent, so unsampled artifacts stay byte-identical
+	// to version 1 and old readers keep decoding them.
+	ResultVersion = 2
 	// CrashDumpVersion covers core.SimError JSON crash dumps. Version 0
 	// is the legacy pre-versioning encoding, still accepted on decode.
 	CrashDumpVersion = 1
@@ -32,8 +35,11 @@ const (
 	// ServiceVersion covers the distributed-campaign HTTP protocol
 	// (internal/service): submit/lease/heartbeat/complete bodies. A
 	// coordinator rejects requests stamped with a newer version than it
-	// understands instead of misreading them.
-	ServiceVersion = 1
+	// understands instead of misreading them. Version 2 carries sampling
+	// plans inside cells: a v1 worker leasing from a v2 coordinator
+	// rejects the response rather than silently running the cell without
+	// its plan.
+	ServiceVersion = 2
 	// EventVersion covers the coordinator's SSE lifecycle-event stream
 	// (internal/obs): every event carries it inline so dashboard clients
 	// can refuse streams newer than they understand.

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"largewindow/internal/campaign"
+	"largewindow/internal/sample"
+)
+
+// TestSamplingPlanSurvivesProtocol: a cell's sampling plan must ride the
+// wire intact — submit → lease hands the worker the exact plan, and the
+// completed record returns the sampled estimators to the client. The
+// plan is part of the cell identity, so a sampled and an unsampled
+// submission of the same grid point must NOT dedup onto one another.
+func TestSamplingPlanSurvivesProtocol(t *testing.T) {
+	plan := sample.Plan{Intervals: 12, Period: 40000, Length: 1000, Warmup: 500, Seed: 3, Random: true}
+	exec := func(c campaign.Cell) (*campaign.Record, error) {
+		rec, err := fakeExec(c)
+		if err != nil {
+			return nil, err
+		}
+		if c.Sampling != nil {
+			if *c.Sampling != plan {
+				t.Errorf("leased cell carries plan %+v, want %+v", *c.Sampling, plan)
+			}
+			rec.Sampling = c.Sampling
+			rec.Intervals = c.Sampling.Intervals
+			rec.IPCStdDev = 0.21
+			rec.IPCCI95 = 0.13
+		}
+		return rec, nil
+	}
+	coord, srv := startCoordinator(t, CoordinatorOptions{LeaseTTL: time.Second})
+	startWorkers(t, srv.URL, 2, exec)
+	client := NewClient(ClientOptions{Server: srv.URL, PollWait: 100 * time.Millisecond})
+
+	sampled := testCell(64, "mgrid")
+	sampled.Sampling = &plan
+	plain := testCell(64, "mgrid")
+
+	rec, err := client.Exec(sampled)
+	if err != nil {
+		t.Fatalf("sampled cell failed: %v", err)
+	}
+	if rec.Sampling == nil || *rec.Sampling != plan {
+		t.Fatalf("record lost the plan over the wire: %+v", rec.Sampling)
+	}
+	if rec.Intervals != plan.Intervals || rec.IPCCI95 != 0.13 || rec.IPCStdDev != 0.21 {
+		t.Errorf("record lost sampled estimators over the wire: %+v", rec)
+	}
+
+	prec, err := client.Exec(plain)
+	if err != nil {
+		t.Fatalf("plain cell failed: %v", err)
+	}
+	if prec.Sampling != nil {
+		t.Errorf("unsampled record grew a plan: %+v", prec.Sampling)
+	}
+	if st := coord.Stats(); st.Submitted != 2 {
+		t.Errorf("sampled and plain cells deduped together: %+v", st)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"largewindow/internal/core"
 	"largewindow/internal/emu"
 	"largewindow/internal/isa"
+	"largewindow/internal/sample"
 	"largewindow/internal/telemetry"
 	"largewindow/internal/workload"
 )
@@ -131,9 +132,24 @@ type Result struct {
 	// exhausting the instruction budget, which is the normal way the
 	// evaluation samples long kernels).
 	Halted bool
+
+	// Sampled-run statistics, populated only by WithSampling runs.
+	// Sampling echoes the executed plan (auto-period plans appear resolved
+	// against the program's measured length). The point estimate (also
+	// returned by IPC) is the inverse of the mean per-interval CPI — the
+	// SMARTS estimator, unbiased for the program's cycles-per-instruction
+	// where a mean of window IPCs would overweight fast windows; IPCCI95 is
+	// the Student-t 95% confidence half-width around it (delta-method
+	// propagated from CPI space).
+	Sampling     *SamplingPlan
+	Intervals    int
+	IPCStdDev    float64
+	IPCCI95      float64
+	IntervalIPCs []float64
 }
 
-// IPC returns committed instructions per cycle.
+// IPC returns committed instructions per cycle: the measured-region IPC
+// for detailed runs, the sampled point estimate for WithSampling runs.
 func (r *Result) IPC() float64 { return r.Stats.IPC }
 
 // Checkpoint is a full restorable functional state: registers, the
@@ -153,6 +169,36 @@ func FastForward(prog *Program, skip uint64) (*Checkpoint, error) {
 	return emu.BuildCheckpoint(prog, skip)
 }
 
+// SamplingPlan describes a SMARTS-style statistical sampling regime (see
+// internal/sample): N measured intervals of Length instructions, one per
+// Period, each optionally preceded by a detailed Warmup, with the
+// functional emulator carrying the program (and warming caches, TLBs, and
+// the branch predictor) between them. ParseSamplingPlan decodes the CLI
+// spec form ("n=50,period=200000,len=2000,warm=2000").
+type SamplingPlan = sample.Plan
+
+// ParseSamplingPlan decodes a sampling-plan spec of comma-separated
+// key=value fields: n, period, len (required), warm, seed, and the bare
+// flag random.
+func ParseSamplingPlan(spec string) (SamplingPlan, error) { return sample.Parse(spec) }
+
+// DefaultSamplingSpec is the calibrated default sampling plan: the spec
+// that BenchmarkSampledCampaign records in BENCH_PR8.json and that
+// scripts/check.sh gates at >= 5x wall-clock speedup and <= 2% mean
+// absolute IPC error over the full 18-kernel x {base, WIB} suite.
+// Window length is the load-bearing choice — the WIB machine's
+// fill/drain limit cycle on streaming FP kernels spans thousands of
+// instructions, and windows much shorter than it measure whichever
+// phase the detailed warmup happens to land on (DESIGN.md §12.5).
+const DefaultSamplingSpec = "n=26,len=8000,warm=1000,seed=7,random"
+
+// ProgramLength measures prog's dynamic instruction count with one
+// functional emulator pass — what auto-period sampling plans resolve
+// against. Campaign sessions memoize it per benchmark; callers running
+// several configurations over one program should do the same and pass
+// the resolved plan (SamplingPlan.Resolve) to WithSampling.
+func ProgramLength(prog *Program) (uint64, error) { return sample.ProgramLength(prog) }
+
 // simOptions collects the option-configurable knobs of SimulateContext.
 type simOptions struct {
 	maxInstr       uint64
@@ -161,6 +207,7 @@ type simOptions struct {
 	sampleInterval int64
 	skipInstr      uint64
 	checkpoint     *Checkpoint
+	sampling       *SamplingPlan
 }
 
 // Option configures a SimulateContext run.
@@ -204,6 +251,18 @@ func WithCheckpoint(cp *Checkpoint) Option {
 	return func(o *simOptions) { o.checkpoint = cp }
 }
 
+// WithSampling runs the simulation as a SMARTS-style sampled estimate
+// under the given plan instead of one contiguous detailed region: many
+// short detailed windows spread across the program, functional warming
+// between them, and a confidence interval over the window IPCs in the
+// Result. Sampling composes with WithMaxCycles (a per-window cycle bound)
+// but supersedes WithMaxInstr, WithSkip, WithMeasure, WithCheckpoint, and
+// WithTelemetry — the plan defines the simulated region, and the detailed
+// core is recreated per interval.
+func WithSampling(plan SamplingPlan) Option {
+	return func(o *simOptions) { o.sampling = &plan }
+}
+
 // WithTelemetry attaches a cycle-sampled telemetry collector to the run
 // and streams schema-versioned JSONL samples to w. sampleInterval is the
 // sampling period in cycles (0 = the collector's default).
@@ -221,6 +280,24 @@ func SimulateContext(ctx context.Context, cfg Config, prog *Program, opts ...Opt
 	var o simOptions
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.sampling != nil {
+		out, err := sample.Run(ctx, cfg, prog, *o.sampling, o.maxCycles, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Stats:            out.Stats,
+			DL1MissRatio:     out.DL1Miss,
+			L2LocalMissRatio: out.L2Local,
+			TLBMissRatio:     out.TLBMiss,
+			Halted:           out.Halted,
+			Sampling:         &out.Plan,
+			Intervals:        len(out.IntervalIPCs),
+			IPCStdDev:        out.IPCStdDev,
+			IPCCI95:          out.IPCCI95,
+			IntervalIPCs:     out.IntervalIPCs,
+		}, nil
 	}
 	p, err := core.New(cfg, prog)
 	if err != nil {

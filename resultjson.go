@@ -18,17 +18,35 @@ type resultWire struct {
 	L2LocalMissRatio float64 `json:"l2_local_miss_ratio"`
 	TLBMissRatio     float64 `json:"tlb_miss_ratio"`
 	Halted           bool    `json:"halted"`
+
+	// Sampled-run fields, present (schema v2) only for WithSampling runs.
+	Sampling     *SamplingPlan `json:"sampling,omitempty"`
+	Intervals    int           `json:"intervals,omitempty"`
+	IPCStdDev    float64       `json:"ipc_stddev,omitempty"`
+	IPCCI95      float64       `json:"ipc_ci95,omitempty"`
+	IntervalIPCs []float64     `json:"interval_ipcs,omitempty"`
 }
 
-// MarshalJSON encodes the result with the current schema version.
+// MarshalJSON encodes the result with its schema version: v1 for detailed
+// runs — byte-identical to pre-sampling encoders, so persisted results
+// and fixtures stay stable — and v2 when sampling fields are present.
 func (r Result) MarshalJSON() ([]byte, error) {
+	version := 1
+	if r.Sampling != nil {
+		version = schema.ResultVersion
+	}
 	return json.Marshal(resultWire{
-		SchemaVersion:    schema.ResultVersion,
+		SchemaVersion:    version,
 		Stats:            r.Stats,
 		DL1MissRatio:     r.DL1MissRatio,
 		L2LocalMissRatio: r.L2LocalMissRatio,
 		TLBMissRatio:     r.TLBMissRatio,
 		Halted:           r.Halted,
+		Sampling:         r.Sampling,
+		Intervals:        r.Intervals,
+		IPCStdDev:        r.IPCStdDev,
+		IPCCI95:          r.IPCCI95,
+		IntervalIPCs:     r.IntervalIPCs,
 	})
 }
 
@@ -49,6 +67,11 @@ func (r *Result) UnmarshalJSON(data []byte) error {
 		L2LocalMissRatio: w.L2LocalMissRatio,
 		TLBMissRatio:     w.TLBMissRatio,
 		Halted:           w.Halted,
+		Sampling:         w.Sampling,
+		Intervals:        w.Intervals,
+		IPCStdDev:        w.IPCStdDev,
+		IPCCI95:          w.IPCCI95,
+		IntervalIPCs:     w.IntervalIPCs,
 	}
 	return nil
 }

@@ -228,7 +228,36 @@ echo "== observability overhead (disabled fleet hooks must stay free) =="
 # disabled publish/span hooks must be zero-allocation.
 go test -count=1 -run 'TestDisabledObsOverhead|TestDisabledObsZeroAlloc' -v ./internal/service/ | grep -E 'overhead|PASS|FAIL'
 
-benchref=BENCH_PR5.json
+echo "== sampled campaign smoke (race-enabled parallel engine + resume) =="
+# A fig4 subset where every cell runs as a SMARTS sampled simulation
+# (auto-period plan), under -race at -parallel 4; the re-run with -resume
+# must execute ZERO cells (the sampling plan is part of the cell
+# identity) and render byte-identical tables.
+smpdir="$(mktemp -d)"
+go run -race ./cmd/experiments -run fig4 -bench gzip,art,treeadd -scale test \
+    -sample 'n=8,len=500,warm=500,seed=3,random' -parallel 4 \
+    -cache-dir "$smpdir/cache" -progress=false \
+    >"$smpdir/first.out" 2>"$smpdir/first.err"
+go run ./cmd/experiments -run fig4 -bench gzip,art,treeadd -scale test \
+    -sample 'n=8,len=500,warm=500,seed=3,random' -parallel 4 \
+    -cache-dir "$smpdir/cache" -resume -progress=false \
+    >"$smpdir/second.out" 2>"$smpdir/second.err"
+if ! grep -q ' 0 executed' "$smpdir/second.err"; then
+    echo "FAIL: resumed sampled campaign recomputed cells:"
+    cat "$smpdir/second.err"
+    rm -rf "$smpdir"
+    exit 1
+fi
+if ! diff -u "$smpdir/first.out" "$smpdir/second.out"; then
+    echo "FAIL: resumed sampled campaign rendered different tables"
+    rm -rf "$smpdir"
+    exit 1
+fi
+rm -rf "$smpdir"
+echo "  sampled: race-clean at -parallel 4, 0 cells recomputed on resume, tables identical"
+
+benchref=BENCH_PR8.json
+[ -f "$benchref" ] || benchref=BENCH_PR5.json
 [ -f "$benchref" ] || benchref=BENCH_PR3.json
 
 echo "== simulator throughput vs $benchref =="
@@ -266,13 +295,15 @@ else
 fi
 
 echo "== checkpointed-campaign speedup vs detailed-only =="
-# The tentpole's acceptance bar: a multi-config sweep with a functional
-# skip must beat detailed-only execution by >= 3x wall-clock (recorded in
-# BENCH_PR5.json by scripts/bench.sh).
-if [ -f BENCH_PR5.json ] && command -v jq >/dev/null 2>&1; then
-    ckpt=$(jq -r '.results[] | select(.bench == "CheckpointedCampaign") | .ckpt_speedup // empty' BENCH_PR5.json)
+# PR 5's acceptance bar: a multi-config sweep with a functional skip must
+# beat detailed-only execution by >= 3x wall-clock (recorded by
+# scripts/bench.sh).
+ckptref=BENCH_PR8.json
+[ -f "$ckptref" ] || ckptref=BENCH_PR5.json
+if [ -f "$ckptref" ] && command -v jq >/dev/null 2>&1; then
+    ckpt=$(jq -r '.results[] | select(.bench == "CheckpointedCampaign") | .ckpt_speedup // empty' "$ckptref")
     if [ -z "$ckpt" ]; then
-        echo "FAIL: BENCH_PR5.json records no ckpt_speedup"
+        echo "FAIL: $ckptref records no ckpt_speedup"
         exit 1
     fi
     awk -v s="$ckpt" 'BEGIN {
@@ -280,7 +311,29 @@ if [ -f BENCH_PR5.json ] && command -v jq >/dev/null 2>&1; then
         if (s < 3) { print "  FAIL: checkpoint speedup below 3x"; exit 1 }
     }'
 else
-    echo "  skipped (no BENCH_PR5.json or jq)"
+    echo "  skipped (no $ckptref or jq)"
+fi
+
+echo "== sampled-campaign speedup and accuracy vs full detail =="
+# The sampling engine's acceptance bar: the full 18-kernel suite under
+# base + WIB, sampled under the default plan, must beat full-detail
+# execution by >= 5x wall-clock while keeping the mean absolute IPC
+# error of the sampled estimate at or below 2% (recorded in
+# BENCH_PR8.json by scripts/bench.sh).
+if [ -f BENCH_PR8.json ] && command -v jq >/dev/null 2>&1; then
+    smp=$(jq -r '.results[] | select(.bench == "SampledCampaign") | .sample_speedup // empty' BENCH_PR8.json)
+    smperr=$(jq -r '.results[] | select(.bench == "SampledCampaign") | .sample_ipc_err // empty' BENCH_PR8.json)
+    if [ -z "$smp" ] || [ -z "$smperr" ]; then
+        echo "FAIL: BENCH_PR8.json records no sample_speedup / sample_ipc_err"
+        exit 1
+    fi
+    awk -v s="$smp" -v e="$smperr" 'BEGIN {
+        printf "  sampled suite: %.2fx vs full detail, mean |IPC error| %.2f%%\n", s, e
+        if (s < 5) { print "  FAIL: sampled-campaign speedup below 5x"; exit 1 }
+        if (e > 2) { print "  FAIL: sampled-campaign mean IPC error above 2%"; exit 1 }
+    }'
+else
+    echo "  skipped (no BENCH_PR8.json or jq)"
 fi
 
 echo "check: all gates passed"
