@@ -6,7 +6,7 @@
 //
 //	experiments [-run fig1,table2,fig4,fig5,fig6,policy,fig7,sens|all]
 //	            [-instr N] [-skip N] [-sample n=50,period=200000,len=2000,warm=2000]
-//	            [-bench a,b,c] [-scale test|run|full] [-v]
+//	            [-bench a,b,c] [-workload ref]... [-scale test|run|full] [-v]
 //	            [-parallel N] [-cache-dir dir] [-resume] [-retries N]
 //	            [-server http://host:8420] [-watch]
 //	            [-deadline 2m] [-crash-dump dir]
@@ -20,6 +20,15 @@
 // -resume serves finished cells from the cache and executes only what is
 // missing. A live progress line (cells done/total, aggregate instrs/s,
 // ETA) repaints on stderr when it is a terminal.
+//
+// Workloads are selected with -bench (comma-separated registry kernel
+// names) and/or -workload (repeatable, one workload ref per flag:
+// "bench:gcc", "trace:runs/gcc.wtr", or "synth:mlp=4,miss=0.1,..." —
+// repeatable because synth specs contain commas). Either selection
+// replaces the default all-18-kernel sweep; refs resolve through
+// workload.ParseRef and carry a stable content identity into every
+// campaign cell, so -cache-dir/-resume dedup holds for traces and
+// synthetics exactly as it does for kernels.
 //
 // A failing (benchmark × configuration) cell does not abort the sweep:
 // the remaining cells still run, a failure-summary table is printed at
@@ -65,6 +74,7 @@ func main() {
 		skip    = flag.Uint64("skip", 0, "fast-forward N instructions functionally before each measured region (checkpoints shared across configs)")
 		smpl    = flag.String("sample", "", "run every cell as a SMARTS sampled simulation under this plan (n=...,period=...,len=...[,warm=N,seed=S,random])")
 		bench   = flag.String("bench", "", "comma-separated benchmark subset (default all 18)")
+		wloads  workloadFlags
 		scale   = flag.String("scale", "run", "kernel scale: test, run, or full")
 		par     = flag.Int("parallel", 0, "concurrent simulations (default GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "log each simulation run")
@@ -83,6 +93,7 @@ func main() {
 		sampleIvl = flag.Int64("sample-interval", 0, "telemetry sampling period in cycles (0 = default)")
 		pprofOut  = flag.String("pprof", "", "write a CPU profile of the whole sweep")
 	)
+	flag.Var(&wloads, "workload", "workload ref (bench:NAME, trace:PATH, synth:SPEC); repeatable")
 	flag.Parse()
 
 	if *list {
@@ -143,6 +154,13 @@ func main() {
 		}
 		opt.Benchmarks = names
 	}
+	for _, ref := range wloads {
+		if _, err := workload.ParseRef(ref); err != nil {
+			fmt.Fprintf(os.Stderr, "bad -workload ref: %v\n", err)
+			os.Exit(2)
+		}
+		opt.Benchmarks = append(opt.Benchmarks, ref)
+	}
 	var logw io.Writer
 	if *verbose {
 		logw = os.Stderr
@@ -180,7 +198,12 @@ func main() {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	expected := s.Prime(s.ManifestFor(ids))
+	manifest, err := s.ManifestFor(ids)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(2)
+	}
+	expected := s.Prime(manifest)
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "campaign: primed %d cells onto %d workers\n", expected, workers)
 	}
@@ -194,7 +217,7 @@ func main() {
 		progress = campaign.NewProgress(s.Campaign(), os.Stderr, 0, uint64(expected))
 	}
 
-	err := harness.RunExperiments(s, ids, os.Stdout)
+	err = harness.RunExperiments(s, ids, os.Stdout)
 	if progress != nil {
 		progress.Stop()
 	}
@@ -260,4 +283,15 @@ func writeCrashDumps(dir string, fails []*harness.Result) {
 		}
 		fmt.Fprintf(os.Stderr, "crash dump written to %s (replay with: wibtrace -replay %s)\n", path, path)
 	}
+}
+
+// workloadFlags collects repeated -workload flags. One ref per flag
+// instance: synth specs contain commas, so a comma-split list flag
+// cannot carry them.
+type workloadFlags []string
+
+func (w *workloadFlags) String() string { return strings.Join(*w, " ") }
+func (w *workloadFlags) Set(v string) error {
+	*w = append(*w, v)
+	return nil
 }

@@ -5,12 +5,20 @@
 // Usage:
 //
 //	wibsim -bench art [-config base|wib|iq2k|wib256] [-instr N]
+//	       [-record-trace out.wtr]
 //	       [-skip N] [-measure N] [-sample n=50,period=200000,len=2000,warm=2000]
 //	       [-wib-entries N] [-bitvectors N] [-policy banked|program-order|rr-load|oldest-load]
 //	       [-mem-latency N] [-dump] [-deadline 30s] [-crash-dump crash.json]
 //	       [-watchdog N] [-lockstep]
 //	       [-telemetry] [-telemetry-out telemetry.jsonl] [-sample-interval N]
 //	       [-trace-out trace.json] [-kanata pipeline.kanata] [-pprof cpu.prof]
+//
+// -bench accepts any workload ref: a registry kernel name ("art"),
+// "trace:path.wtr" to replay a recorded trace, or "synth:mlp=4,..." for
+// a parameterized synthetic kernel. -record-trace records the workload
+// on the functional emulator (to -instr instructions, 0 = to halt) and
+// writes a .wtr trace file (gzip when the path ends in .gz) instead of
+// simulating.
 //
 // A failed run (invariant violation, deadlock, oracle divergence, or
 // deadline) exits 1 after printing the structured error; -crash-dump
@@ -37,12 +45,14 @@ import (
 	"largewindow/internal/isa"
 	"largewindow/internal/sample"
 	"largewindow/internal/telemetry"
+	"largewindow/internal/trace"
 	"largewindow/internal/workload"
 )
 
 func main() {
 	var (
-		bench   = flag.String("bench", "treeadd", "benchmark kernel name (see -list)")
+		bench   = flag.String("bench", "treeadd", "workload ref: kernel name, trace:PATH, or synth:SPEC (see -list)")
+		record  = flag.String("record-trace", "", "record the workload to this .wtr trace file and exit (budget = -instr, 0 = to halt)")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 		config  = flag.String("config", "base", "base, wib, iq2k, or custom")
 		instr   = flag.Uint64("instr", 1_000_000, "committed-instruction budget (0 = to completion)")
@@ -79,9 +89,9 @@ func main() {
 		}
 		return
 	}
-	spec, ok := workload.Get(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q (use -list)\n", *bench)
+	src, err := workload.ParseRef(*bench)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v (use -list for kernels, or trace:PATH / synth:SPEC)\n", err)
 		os.Exit(2)
 	}
 	var sc workload.Scale
@@ -137,9 +147,18 @@ func main() {
 		budget = *measure
 	}
 
-	prog := spec.Build(sc)
+	if *record != "" {
+		recordTrace(*bench, sc, *instr, *record)
+		return
+	}
+
+	prog, err := src.Build(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if *smpl != "" {
-		runSampled(*smpl, spec, sc, cfg, prog, *cycles, *deadline, *pprofOut)
+		runSampled(*smpl, src, sc, cfg, prog, *cycles, *deadline, *pprofOut)
 		return
 	}
 	p, err := core.New(cfg, prog)
@@ -203,7 +222,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		var se *core.SimError
 		if errors.As(err, &se) {
-			se.Bench = spec.Name
+			se.Bench = src.Name()
 			se.Scale = *scale
 			writeCrashDump(*crashDump, se)
 		}
@@ -214,7 +233,7 @@ func main() {
 	}
 
 	h := p.Hierarchy()
-	fmt.Printf("benchmark         %s (%s, %d static instrs)\n", spec.Name, spec.Suite, len(prog.Code))
+	fmt.Printf("benchmark         %s (%s, %d static instrs)\n", src.Name(), src.Suite(), len(prog.Code))
 	fmt.Printf("configuration     %s\n", cfg.Name)
 	if st.Skipped > 0 {
 		fmt.Printf("functional skip   %d instructions fast-forwarded in %s\n", st.Skipped, ffTime.Round(time.Microsecond))
@@ -256,7 +275,7 @@ func main() {
 // confidence interval, per-interval spread, and the measured-window
 // memory-system ratios. The -telemetry/-trace options do not apply (the
 // detailed core is recreated per interval).
-func runSampled(spec string, wl workload.Spec, sc workload.Scale, cfg core.Config, prog *isa.Program, cycles int64, deadline time.Duration, pprofOut string) {
+func runSampled(spec string, wl workload.Source, sc workload.Scale, cfg core.Config, prog *isa.Program, cycles int64, deadline time.Duration, pprofOut string) {
 	plan, err := sample.Parse(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -287,14 +306,14 @@ func runSampled(spec string, wl workload.Spec, sc workload.Scale, cfg core.Confi
 		fmt.Fprintln(os.Stderr, err)
 		var se *core.SimError
 		if errors.As(err, &se) {
-			se.Bench = wl.Name
+			se.Bench = wl.Name()
 			se.Scale = sc.String()
 		}
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
 	st := out.Stats
-	fmt.Printf("benchmark         %s (%s, %d static instrs)\n", wl.Name, wl.Suite, len(prog.Code))
+	fmt.Printf("benchmark         %s (%s, %d static instrs)\n", wl.Name(), wl.Suite(), len(prog.Code))
 	fmt.Printf("configuration     %s\n", cfg.Name)
 	fmt.Printf("sampling plan     %s\n", plan)
 	fmt.Printf("intervals         %d measured of %d planned", len(out.IntervalIPCs), plan.Intervals)
@@ -353,4 +372,30 @@ func writeCrashDump(path string, se *core.SimError) {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "crash dump written to %s (replay with: wibtrace -replay %s)\n", path, path)
+}
+
+// recordTrace records the workload on the functional emulator and
+// writes the .wtr trace file (gzip-compressed when path ends in .gz).
+// Re-recording an existing trace file is rejected by RecordRef.
+func recordTrace(ref string, sc workload.Scale, maxInstr uint64, path string) {
+	start := time.Now()
+	tr, err := trace.RecordRef(ref, sc, maxInstr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := tr.WriteFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fi, _ := os.Stat(path)
+	var size int64
+	if fi != nil {
+		size = fi.Size()
+	}
+	fmt.Printf("recorded          %s (%s) at scale %s\n", tr.Name, tr.Suite, sc)
+	fmt.Printf("instructions      %d (halted=%v) in %s\n", tr.Instrs, tr.Halted, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("trace             %s (%d bytes, %.2f bits/instr)\n", path, size, float64(size*8)/float64(tr.Instrs))
+	fmt.Printf("identity          %s\n", tr.Identity())
+	fmt.Printf("replay ref        trace:%s\n", path)
 }

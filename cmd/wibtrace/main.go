@@ -8,6 +8,11 @@
 // kind, cycle, stalled instruction, the recent-event ring, the pipeline
 // dump, and the code around the failing PC.
 //
+// With -dump it decodes a .wtr workload trace recorded by `wibsim
+// -record-trace`, prints its header (name, identity, instruction count,
+// stream hash), runs the structural validator, and summarizes the
+// dynamic record stream.
+//
 // With -render it validates and summarizes a telemetry artifact written
 // by `wibsim -telemetry/-trace-out/-kanata` or `experiments
 // -telemetry-dir`, sniffing the format (JSONL sample series, Chrome
@@ -35,12 +40,14 @@ import (
 	"largewindow/internal/isa"
 	"largewindow/internal/obs"
 	"largewindow/internal/telemetry"
+	wtrace "largewindow/internal/trace"
 	"largewindow/internal/workload"
 )
 
 func main() {
 	var (
-		bench  = flag.String("bench", "treeadd", "benchmark kernel name")
+		bench  = flag.String("bench", "treeadd", "workload ref: kernel name, trace:PATH, or synth:SPEC")
+		dumpT  = flag.String("dump", "", "decode and summarize a .wtr workload trace, then exit")
 		scale  = flag.String("scale", "test", "kernel scale: test, run, full")
 		instr  = flag.Uint64("instr", 10_000_000, "instruction budget")
 		disasm = flag.Bool("disasm", false, "print the kernel's code and exit")
@@ -73,10 +80,17 @@ func main() {
 		}
 		return
 	}
+	if *dumpT != "" {
+		if err := dumpTrace(*dumpT); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
-	spec, ok := workload.Get(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+	src, err := workload.ParseRef(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	var sc workload.Scale
@@ -88,7 +102,11 @@ func main() {
 	default:
 		sc = workload.ScaleTest
 	}
-	prog := spec.Build(sc)
+	prog, err := src.Build(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if *disasm {
 		for pc, in := range prog.Code {
@@ -112,7 +130,7 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "warning: %v\n", err)
 	}
-	fmt.Printf("benchmark     %s (%s)\n", spec.Name, spec.Suite)
+	fmt.Printf("benchmark     %s (%s)\n", src.Name(), src.Suite())
 	fmt.Printf("static code   %d instructions\n", len(prog.Code))
 	fmt.Printf("initial data  %d words, heap %d KB\n", len(prog.Data), (len(prog.Data)*8)/1024)
 	fmt.Printf("executed      %d instructions (halted=%v)\n", n, m.Halted)
@@ -398,4 +416,77 @@ func replayDump(path string) error {
 		fmt.Printf("\nreproduce with:\n  wibsim -bench %s -scale %s -lockstep -dump\n", se.Bench, se.Scale)
 	}
 	return nil
+}
+
+// dumpTrace decodes a .wtr workload trace, prints its header, validates
+// it structurally, and summarizes the dynamic record stream.
+func dumpTrace(path string) error {
+	tr, err := wtrace.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace         %s\n", path)
+	fmt.Printf("name          %s (%s)\n", tr.Name, tr.Suite)
+	fmt.Printf("source ref    %s\n", tr.Source)
+	fmt.Printf("identity      %s\n", tr.Identity())
+	fmt.Printf("program       %d static instrs, %d data words, entry pc %d\n",
+		len(tr.Code), len(tr.Data), tr.Entry)
+	fmt.Printf("recorded      %d instructions (halted=%v), %d dynamic records\n",
+		tr.Instrs, tr.Halted, len(tr.Records))
+	fmt.Printf("stream hash   %016x\n", tr.StreamHash)
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("structural validation FAILED: %w", err)
+	}
+	fmt.Printf("validation    ok\n")
+
+	if len(tr.Records) == 0 {
+		return nil
+	}
+	var loads, stores, branches, taken, jumps uint64
+	for _, r := range tr.Records {
+		switch r.Class {
+		case isa.ClassLoad:
+			loads++
+		case isa.ClassStore:
+			stores++
+		case isa.ClassBranch:
+			branches++
+			if r.Taken {
+				taken++
+			}
+		case isa.ClassJump:
+			jumps++
+		}
+	}
+	n := float64(len(tr.Records))
+	fmt.Printf("record mix    %.1f%% loads, %.1f%% stores, %.1f%% branches (%.1f%% taken), %.1f%% jumps\n",
+		100*float64(loads)/n, 100*float64(stores)/n, 100*float64(branches)/n,
+		100*float64(taken)/maxf(float64(branches), 1), 100*float64(jumps)/n)
+	show := len(tr.Records)
+	if show > 10 {
+		show = 10
+	}
+	fmt.Printf("first %d records:\n", show)
+	for i := 0; i < show; i++ {
+		r := tr.Records[i]
+		line := fmt.Sprintf("  %6d  pc=%-5d %s", i, r.PC, isa.Disassemble(tr.Code[r.PC]))
+		if r.HasMem {
+			line += fmt.Sprintf("  addr=0x%x", r.Addr)
+		}
+		if r.Class == isa.ClassBranch {
+			line += fmt.Sprintf("  taken=%v", r.Taken)
+		}
+		if r.HasTgt {
+			line += fmt.Sprintf("  target=%d", r.Target)
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -33,8 +33,12 @@ func main() {
 		cfg := largewindow.ScaledConfig(sz.iq, sz.al)
 		fmt.Printf("%-8d", sz.iq)
 		for _, b := range benches {
-			prog := largewindow.Benchmark(b, largewindow.ScaleRun)
-			r, err := largewindow.SimulateContext(ctx, cfg, prog, budget)
+			w, err := largewindow.ParseWorkloadRef(b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := largewindow.SimulateContext(ctx, cfg, nil,
+				largewindow.WithWorkload(w, largewindow.ScaleRun), budget)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -18,7 +18,14 @@ func main() {
 	ctx := context.Background()
 	budget := largewindow.WithMaxInstr(200_000)
 	for _, bench := range []string{"treeadd", "em3d", "mst", "perimeter"} {
-		prog := largewindow.Benchmark(bench, largewindow.ScaleRun)
+		w, err := largewindow.ParseWorkloadRef(bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog, err := w.Build(largewindow.ScaleRun)
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		base, err := largewindow.SimulateContext(ctx, largewindow.BaseConfig(), prog, budget)
 		if err != nil {

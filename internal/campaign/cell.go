@@ -44,6 +44,19 @@ type Cell struct {
 	// region. The plan is part of the cell identity — a different plan is
 	// a different experiment — and nil keeps pre-sampling cell IDs stable.
 	Sampling *sample.Plan
+	// Workload is the resolvable workload ref for non-registry sources
+	// ("trace:path.wtr", "synth:mlp=4,..."); empty for builder kernels.
+	// It is how an executor (local or a remote worker) finds the workload
+	// — it may name a local file, so it is NOT part of cell identity.
+	Workload string
+	// WorkloadID is the content-derived identity of a non-registry
+	// workload ("trace:sha256:<hex>", "synth:<canonical-spec>"); empty
+	// for builder kernels, which keeps pre-Source cell IDs stable. It IS
+	// part of cell identity — two trace files with the same bytes share
+	// cells no matter where they live, and distinct content never
+	// collides — and executors verify the resolved workload against it
+	// before running.
+	WorkloadID string
 }
 
 // cellKey is the canonical form hashed into a cell ID. Config marshals
@@ -52,13 +65,16 @@ type Cell struct {
 // — yield equal IDs, and any timing-relevant config change re-keys the
 // cell instead of serving a stale result.
 type cellKey struct {
-	Config    core.Config `json:"config"`
-	Bench     string      `json:"bench"`
-	Scale     string      `json:"scale"`
+	Config    core.Config  `json:"config"`
+	Bench     string       `json:"bench"`
+	Scale     string       `json:"scale"`
 	MaxInstr  uint64       `json:"max_instr"`
 	MaxCycles int64        `json:"max_cycles"`
 	SkipInstr uint64       `json:"skip_instr,omitempty"`
 	Sampling  *sample.Plan `json:"sampling,omitempty"`
+	// Workload is the content identity (Cell.WorkloadID), never the ref:
+	// hashing the ref would re-key cells when a trace file moves.
+	Workload string `json:"workload,omitempty"`
 }
 
 // idHexLen is the truncated hex length of a cell ID: 16 bytes of SHA-256,
@@ -75,6 +91,7 @@ func (c Cell) ID() string {
 		MaxCycles: c.MaxCycles,
 		SkipInstr: c.SkipInstr,
 		Sampling:  c.Sampling,
+		Workload:  c.WorkloadID,
 	})
 	if err != nil {
 		// Config is a plain data struct; this cannot fail on real inputs.

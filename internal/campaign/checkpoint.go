@@ -24,21 +24,29 @@ type CheckpointKey struct {
 	Bench string
 	Scale workload.Scale
 	Skip  uint64
+	// Workload is the content identity of a non-registry workload
+	// (Cell.WorkloadID); empty for builder kernels, which keeps
+	// pre-Source checkpoint IDs — and the checkpoints already on disk —
+	// valid. Two distinct traces that happen to share a display name must
+	// not share architectural state.
+	Workload string
 }
 
 // checkpointKeyWire is the canonical form hashed into a checkpoint ID.
 type checkpointKeyWire struct {
-	Bench string `json:"bench"`
-	Scale string `json:"scale"`
-	Skip  uint64 `json:"skip"`
+	Bench    string `json:"bench"`
+	Scale    string `json:"scale"`
+	Skip     uint64 `json:"skip"`
+	Workload string `json:"workload,omitempty"`
 }
 
 // ID returns the key's stable content-addressed identity.
 func (k CheckpointKey) ID() string {
 	data, err := json.Marshal(checkpointKeyWire{
-		Bench: k.Bench,
-		Scale: k.Scale.String(),
-		Skip:  k.Skip,
+		Bench:    k.Bench,
+		Scale:    k.Scale.String(),
+		Skip:     k.Skip,
+		Workload: k.Workload,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("campaign: canonicalizing checkpoint key: %v", err))

@@ -41,19 +41,30 @@ type Record struct {
 	IPCStdDev    float64      `json:"ipc_stddev,omitempty"`
 	IPCCI95      float64      `json:"ipc_ci95,omitempty"`
 	IntervalIPCs []float64    `json:"interval_ipcs,omitempty"`
+
+	// Workload identity fields (schema v3): present only for cells whose
+	// workload is not a builder kernel. Workload is the resolvable ref
+	// the cell was submitted with; WorkloadID is the content identity
+	// folded into the cell ID.
+	Workload   string `json:"workload,omitempty"`
+	WorkloadID string `json:"workload_id,omitempty"`
 }
 
 // recordWire avoids MarshalJSON/UnmarshalJSON recursion.
 type recordWire Record
 
-// MarshalJSON stamps the record with its result schema version: v1 for
-// plain cells (byte-identical to pre-sampling encoders, so existing
-// caches and fixtures stay valid) and v2 when sampling fields are
-// present.
+// MarshalJSON stamps the record with the minimal result schema version
+// its fields require: v1 for plain cells (byte-identical to
+// pre-sampling encoders, so existing caches and fixtures stay valid),
+// v2 when sampling fields are present, v3 when workload identity fields
+// are present.
 func (r *Record) MarshalJSON() ([]byte, error) {
 	w := recordWire(*r)
 	w.SchemaVersion = 1
 	if w.Sampling != nil {
+		w.SchemaVersion = 2
+	}
+	if w.Workload != "" || w.WorkloadID != "" {
 		w.SchemaVersion = schema.ResultVersion
 	}
 	return json.Marshal(&w)

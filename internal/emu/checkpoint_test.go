@@ -289,17 +289,17 @@ type warmProbe struct {
 	branches               []WarmBranch
 }
 
-func (w *warmProbe) WarmFetch(a uint64)     { w.fetches = append(w.fetches, a) }
-func (w *warmProbe) WarmLoad(a uint64)      { w.loads = append(w.loads, a) }
-func (w *warmProbe) WarmStore(a uint64)     { w.stores = append(w.stores, a) }
+func (w *warmProbe) WarmFetch(a uint64)      { w.fetches = append(w.fetches, a) }
+func (w *warmProbe) WarmLoad(a uint64)       { w.loads = append(w.loads, a) }
+func (w *warmProbe) WarmStore(a uint64)      { w.stores = append(w.stores, a) }
 func (w *warmProbe) WarmBranch(b WarmBranch) { w.branches = append(w.branches, b) }
 
 // TestWarmLogReplay: the packed mem ring decodes back into loads and
 // stores with their original addresses, and a nil log replays nothing.
 func TestWarmLogReplay(t *testing.T) {
 	w := NewWarmLog(8, 8, 8)
-	w.mem.push(0x1000 << 1)       // load 0x1000
-	w.mem.push(0x2008<<1 | 1)     // store 0x2008
+	w.mem.push(0x1000 << 1)   // load 0x1000
+	w.mem.push(0x2008<<1 | 1) // store 0x2008
 	w.fetch.push(0x40)
 	w.branch.push(WarmBranch{PC: 5, Target: 9, Taken: true, Cond: true, BTB: true})
 	var probe warmProbe

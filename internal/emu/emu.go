@@ -133,6 +133,13 @@ func (m *Machine) RunSink(maxInstr uint64, sink WarmSink) (uint64, error) {
 	return m.run(maxInstr, sink)
 }
 
+// ReadReg returns the architectural value of a register operand,
+// applying the same Zero-register and FP-bank rules the executor uses.
+// The trace recorder (internal/trace) inspects source operands through
+// it just before Step to derive effective addresses and branch outcomes
+// without duplicating executor semantics.
+func (m *Machine) ReadReg(r isa.RegRef) uint64 { return m.readSrc(r) }
+
 func (m *Machine) readSrc(r isa.RegRef) uint64 {
 	if !r.Valid {
 		return 0

@@ -32,9 +32,9 @@ func TestSessionCancelMidCampaign(t *testing.T) {
 		Parallel:   1, // sequential: a deterministic success/failure split
 		CacheDir:   cacheDir,
 		Context:    ctx,
-		PreRun: func(p *core.Processor, c core.Config, spec workload.Spec) {
+		PreRun: func(p *core.Processor, c core.Config, src workload.Source) {
 			mu.Lock()
-			started = append(started, spec.Name)
+			started = append(started, src.Name())
 			if len(started) == 3 {
 				cancel() // mid-campaign: cell 3 is about to run
 			}
@@ -90,9 +90,9 @@ func TestSessionCancelMidCampaign(t *testing.T) {
 		Benchmarks: benches,
 		CacheDir:   cacheDir,
 		Resume:     true,
-		PreRun: func(p *core.Processor, c core.Config, spec workload.Spec) {
+		PreRun: func(p *core.Processor, c core.Config, src workload.Source) {
 			mu.Lock()
-			executed[spec.Name] = true
+			executed[src.Name()] = true
 			mu.Unlock()
 		},
 	})

@@ -62,16 +62,20 @@ func selectExperiments(ids []string) []Experiment {
 // benchmark) cell they will request under this session's budgets —
 // deduplicated (the baseline appears in every experiment but once in
 // the manifest) and sorted.
-func (s *Session) ManifestFor(ids []string) campaign.Manifest {
+func (s *Session) ManifestFor(ids []string) (campaign.Manifest, error) {
+	srcs, err := s.benchmarks()
+	if err != nil {
+		return campaign.Manifest{}, err
+	}
 	var cells []campaign.Cell
 	for _, ex := range selectExperiments(ids) {
 		for _, cfg := range ex.Configs() {
-			for _, sp := range s.benchmarks() {
-				cells = append(cells, s.cell(cfg, sp.Name))
+			for _, src := range srcs {
+				cells = append(cells, s.cell(cfg, src))
 			}
 		}
 	}
-	return campaign.NewManifest(cells)
+	return campaign.NewManifest(cells), nil
 }
 
 // RunExperiments runs the named experiments ("all" or nil = all) and
@@ -286,10 +290,15 @@ func (s *Session) Figure1() ([]*stats.Table, error) {
 		}
 		rows := map[string][]string{}
 		var order []string
-		for _, sp := range s.benchmarks() {
-			if sp.Suite == suite {
-				rows[sp.Name] = []string{sp.Name}
-				order = append(order, sp.Name)
+		srcs, err := s.benchmarks()
+		if err != nil {
+			return nil, err
+		}
+		for _, src := range srcs {
+			if src.Suite() == suite {
+				key := resultKey(src)
+				rows[key] = []string{src.Name()}
+				order = append(order, key)
 			}
 		}
 		perCfgAvg := make([]float64, len(configs))
@@ -347,14 +356,19 @@ func (s *Session) Table2() ([]*stats.Table, error) {
 		Title:   "Table 2: benchmark performance statistics",
 		Headers: []string{"benchmark", baseHdr, "branch dir pred", "DL1 miss ratio", "UL2 local miss", wibHdr},
 	}
+	srcs, err := s.benchmarks()
+	if err != nil {
+		return nil, err
+	}
 	for _, suite := range suites {
 		var baseIPCs, wibIPCs []float64
-		for _, sp := range s.benchmarks() {
-			if sp.Suite != suite {
+		for _, src := range srcs {
+			if src.Suite() != suite {
 				continue
 			}
-			b, w := base[sp.Name], wib[sp.Name]
-			t.AddRow(sp.Name, ipc(b), b.BrAcc, b.DL1Miss, b.L2Local, ipc(w))
+			key := resultKey(src)
+			b, w := base[key], wib[key]
+			t.AddRow(src.Name(), ipc(b), b.BrAcc, b.DL1Miss, b.L2Local, ipc(w))
 			baseIPCs = append(baseIPCs, b.IPC)
 			wibIPCs = append(wibIPCs, w.IPC)
 		}
@@ -390,13 +404,18 @@ func (s *Session) Figure4() ([]*stats.Table, error) {
 			Headers: []string{"benchmark", "32-IQ/2K", "2K-IQ/2K", "WIB"},
 		}
 		per := make([][]float64, len(configs))
-		for _, sp := range s.benchmarks() {
-			if sp.Suite != suite {
+		srcs, err := s.benchmarks()
+		if err != nil {
+			return nil, err
+		}
+		for _, src := range srcs {
+			if src.Suite() != suite {
 				continue
 			}
-			row := []interface{}{sp.Name}
+			key := resultKey(src)
+			row := []interface{}{src.Name()}
 			for i := range configs {
-				v := stats.Speedup(results[i][sp.Name].IPC, base[sp.Name].IPC)
+				v := stats.Speedup(results[i][key].IPC, base[key].IPC)
 				row = append(row, fmt.Sprintf("%.2f", v))
 				per[i] = append(per[i], v)
 			}

@@ -30,6 +30,7 @@ import (
 	"largewindow/internal/sample"
 	"largewindow/internal/stats"
 	"largewindow/internal/telemetry"
+	_ "largewindow/internal/trace" // register trace: and synth: workload schemes
 	"largewindow/internal/workload"
 )
 
@@ -43,7 +44,11 @@ type Options struct {
 	MaxCycles int64
 	// Scale selects kernel working-set sizing.
 	Scale workload.Scale
-	// Benchmarks restricts the kernel set (nil = all).
+	// Benchmarks restricts the workload set (nil = every registry
+	// kernel). Entries are workload refs resolved through
+	// workload.ParseRef: bare kernel names ("gcc"), explicit
+	// "bench:gcc", recorded traces ("trace:path.wtr"), or synthetic
+	// specs ("synth:mlp=4,miss=0.1").
 	Benchmarks []string
 	// Parallel is the number of concurrent simulations (0 = GOMAXPROCS).
 	Parallel int
@@ -82,7 +87,7 @@ type Options struct {
 	// injection, tracing hooks); production sessions leave it nil. Note
 	// that cache-served cells never construct a processor, so PreRun and
 	// CacheDir+Resume do not combine meaningfully.
-	PreRun func(p *core.Processor, cfg core.Config, spec workload.Spec)
+	PreRun func(p *core.Processor, cfg core.Config, src workload.Source)
 	// TelemetryDir, when non-empty, attaches a telemetry collector to
 	// every run and writes one JSONL sample series per cell to
 	// <dir>/<config>-<bench>.jsonl (the directory is created on demand).
@@ -177,10 +182,16 @@ type Session struct {
 	failures []*Result
 	storeErr error
 
-	// progLen memoizes measured program lengths ("bench/scale" → uint64)
-	// so auto-period sampling plans pay one sizing pass per benchmark, not
-	// one per cell (a Fig.4-style sweep runs several configs per kernel).
+	// progLen memoizes measured program lengths ("identity/scale" →
+	// uint64) so auto-period sampling plans pay one sizing pass per
+	// workload, not one per cell (a Fig.4-style sweep runs several
+	// configs per kernel).
 	progLen sync.Map
+
+	// sources memoizes resolved workload refs ("trace:..." → Source) so
+	// a campaign of N cells over one trace file decodes it once, not N
+	// times.
+	sources sync.Map
 }
 
 // NewSession creates a harness session. When opt.CacheDir is set, the
@@ -254,46 +265,84 @@ func (s *Session) Store() *campaign.Store { return s.store }
 // is usable or was never requested).
 func (s *Session) StoreErr() error { return s.storeErr }
 
-// cell maps one (configuration × benchmark) onto its campaign cell under
-// the session's budgets.
-func (s *Session) cell(cfg core.Config, bench string) campaign.Cell {
-	return campaign.Cell{
+// cell maps one (configuration × workload) onto its campaign cell under
+// the session's budgets. Registry kernels keep the historical cell shape
+// (Bench only) so pre-existing campaign stores resume unchanged;
+// non-bench sources additionally carry their resolvable ref and their
+// content identity, and only the identity enters the cell ID.
+func (s *Session) cell(cfg core.Config, src workload.Source) campaign.Cell {
+	c := campaign.Cell{
 		Config:    cfg,
-		Bench:     bench,
+		Bench:     src.Name(),
 		Scale:     s.opt.Scale,
 		MaxInstr:  s.opt.MaxInstr,
 		MaxCycles: s.opt.MaxCycles,
 		SkipInstr: s.opt.SkipInstr,
 		Sampling:  s.opt.Sampling,
 	}
+	if !workload.IsBench(src) {
+		c.Workload = src.Ref()
+		c.WorkloadID = src.Identity()
+	}
+	return c
 }
 
-// benchmarks returns the selected kernel specs in table order.
-func (s *Session) benchmarks() []workload.Spec {
-	all := workload.All()
+// benchmarks resolves the selected workload refs. A nil selection means
+// every registry kernel in table order; an explicit selection is
+// resolved entry by entry, so a misspelled kernel or malformed synth
+// spec fails the sweep instead of being silently dropped.
+func (s *Session) benchmarks() ([]workload.Source, error) {
 	if len(s.opt.Benchmarks) == 0 {
-		return all
-	}
-	want := map[string]bool{}
-	for _, n := range s.opt.Benchmarks {
-		want[n] = true
-	}
-	var out []workload.Spec
-	for _, sp := range all {
-		if want[sp.Name] {
-			out = append(out, sp)
+		all := workload.All()
+		out := make([]workload.Source, len(all))
+		for i, sp := range all {
+			out[i] = sp.Source()
 		}
+		return out, nil
 	}
-	return out
+	out := make([]workload.Source, 0, len(s.opt.Benchmarks))
+	for _, ref := range s.opt.Benchmarks {
+		src, err := s.resolveRef(ref)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, src)
+	}
+	return out, nil
 }
 
-// Run simulates one benchmark under one configuration by resolving its
+// resolveRef parses one workload ref, memoized session-wide so a
+// campaign of many cells over one trace file decodes it once.
+func (s *Session) resolveRef(ref string) (workload.Source, error) {
+	if v, ok := s.sources.Load(ref); ok {
+		return v.(workload.Source), nil
+	}
+	src, err := workload.ParseRef(ref)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := s.sources.LoadOrStore(ref, src)
+	return v.(workload.Source), nil
+}
+
+// resultKey names a source in RunAll maps and log lines: registry
+// kernels keep their bare name (table order and suite averages match on
+// it); external sources use the full ref so a trace of gcc can never
+// collide with the gcc kernel itself.
+func resultKey(src workload.Source) string {
+	if workload.IsBench(src) {
+		return src.Name()
+	}
+	return src.Ref()
+}
+
+// Run simulates one workload under one configuration by resolving its
 // campaign cell: served from this session's memo, from the persistent
 // store (Resume), or executed on the engine's worker pool — single-
 // flight in every case, with transient failures retried once before the
 // cell is recorded as failed.
-func (s *Session) Run(cfg core.Config, spec workload.Spec) (*Result, error) {
-	cell := s.cell(cfg, spec.Name)
+func (s *Session) Run(cfg core.Config, src workload.Source) (*Result, error) {
+	cell := s.cell(cfg, src)
 	id := cell.ID()
 	s.mu.Lock()
 	vc, ok := s.view[id]
@@ -306,26 +355,35 @@ func (s *Session) Run(cfg core.Config, spec workload.Spec) (*Result, error) {
 	vc.once.Do(func() {
 		rec, err := s.eng.Run(cell)
 		if err != nil {
-			err = fmt.Errorf("%s on %s: %w", spec.Name, cfg.Name, err)
-			vc.res = &Result{Bench: spec.Name, Suite: spec.Suite, Config: cfg.Name, Err: err}
+			err = fmt.Errorf("%s on %s: %w", resultKey(src), cfg.Name, err)
+			vc.res = &Result{Bench: src.Name(), Suite: src.Suite(), Config: cfg.Name, Err: err}
 			vc.err = err
 			s.mu.Lock()
 			s.failures = append(s.failures, vc.res)
 			s.mu.Unlock()
 			if s.opt.Log != nil {
-				fmt.Fprintf(s.opt.Log, "  FAIL %-10s on %-16s %v\n", spec.Name, cfg.Name, err)
+				fmt.Fprintf(s.opt.Log, "  FAIL %-10s on %-16s %v\n", resultKey(src), cfg.Name, err)
 			}
 			return
 		}
-		vc.res = recordToResult(rec, spec)
+		vc.res = recordToResult(rec, src)
 	})
 	return vc.res, vc.err
 }
 
+// RunRef is Run over an unresolved workload ref.
+func (s *Session) RunRef(cfg core.Config, ref string) (*Result, error) {
+	src, err := s.resolveRef(ref)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(cfg, src)
+}
+
 // recordToResult converts a campaign record (fresh or cache-served) into
 // the harness view the table generators consume.
-func recordToResult(rec *campaign.Record, spec workload.Spec) *Result {
-	suite := spec.Suite
+func recordToResult(rec *campaign.Record, src workload.Source) *Result {
+	suite := src.Suite()
 	if parsed, ok := workload.ParseSuite(rec.Suite); ok {
 		suite = parsed
 	}
@@ -345,18 +403,45 @@ func recordToResult(rec *campaign.Record, spec workload.Spec) *Result {
 	}
 }
 
-// execCell is the engine's executor: it builds the kernel, constructs
+// resolveCell maps a cell back to its workload source. Bench cells go
+// through the registry; external cells re-resolve their recorded ref and
+// must reproduce the identity the cell was addressed under — a trace
+// file that changed on disk is a permanent (non-retryable) failure, not
+// a silently different experiment.
+func (s *Session) resolveCell(cell campaign.Cell) (workload.Source, error) {
+	if cell.Workload == "" {
+		spec, ok := workload.Get(cell.Bench)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown benchmark %q", cell.Bench)
+		}
+		return spec.Source(), nil
+	}
+	src, err := s.resolveRef(cell.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("harness: resolving workload %q: %w", cell.Workload, err)
+	}
+	if cell.WorkloadID != "" && src.Identity() != cell.WorkloadID {
+		return nil, fmt.Errorf("harness: workload %q resolved to identity %s, but the cell was addressed as %s",
+			cell.Workload, src.Identity(), cell.WorkloadID)
+	}
+	return src, nil
+}
+
+// execCell is the engine's executor: it builds the workload, constructs
 // the processor, and runs one cell to completion. The engine wraps it
 // with panic isolation and the transient-retry policy.
 func (s *Session) execCell(cell campaign.Cell) (*campaign.Record, error) {
-	spec, ok := workload.Get(cell.Bench)
-	if !ok {
-		return nil, fmt.Errorf("harness: unknown benchmark %q", cell.Bench)
+	src, err := s.resolveCell(cell)
+	if err != nil {
+		return nil, err
 	}
 	cfg := cell.Config
-	prog := spec.Build(cell.Scale)
+	prog, err := src.Build(cell.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("harness: building %s: %w", resultKey(src), err)
+	}
 	if cell.Sampling != nil {
-		return s.execSampledCell(cell, spec, prog)
+		return s.execSampledCell(cell, src, prog)
 	}
 	p, err := core.New(cfg, prog)
 	if err != nil {
@@ -372,9 +457,9 @@ func (s *Session) execCell(cell campaign.Cell) (*campaign.Record, error) {
 		}
 	}
 	if s.opt.PreRun != nil {
-		s.opt.PreRun(p, cfg, spec)
+		s.opt.PreRun(p, cfg, src)
 	}
-	closeTelemetry, err := s.attachTelemetry(p, cfg, spec)
+	closeTelemetry, err := s.attachTelemetry(p, cfg, src)
 	if err != nil {
 		return nil, err
 	}
@@ -390,35 +475,37 @@ func (s *Session) execCell(cell campaign.Cell) (*campaign.Record, error) {
 	st, err := p.RunContext(ctx, cell.MaxInstr, cell.MaxCycles)
 	if closeTelemetry != nil {
 		if terr := closeTelemetry(st.Cycles); terr != nil && s.opt.Log != nil {
-			fmt.Fprintf(s.opt.Log, "  telemetry %s on %s: %v\n", spec.Name, cfg.Name, terr)
+			fmt.Fprintf(s.opt.Log, "  telemetry %s on %s: %v\n", src.Name(), cfg.Name, terr)
 		}
 	}
 	if err != nil && !errors.Is(err, core.ErrBudget) {
 		var se *core.SimError
 		if errors.As(err, &se) {
-			se.Bench = spec.Name
+			se.Bench = src.Name()
 			se.Scale = cell.Scale.String()
 		}
 		return nil, err
 	}
 	h := p.Hierarchy()
 	rec := &campaign.Record{
-		Config:    cfg.Name,
-		Bench:     spec.Name,
-		Suite:     spec.Suite.String(),
-		Scale:     cell.Scale.String(),
-		MaxInstr:  cell.MaxInstr,
-		MaxCycles: cell.MaxCycles,
-		SkipInstr: cell.SkipInstr,
-		IPC:       st.IPC,
-		Stats:     *st,
-		DL1Miss:   h.L1DStats().MissRatio(),
-		L2Local:   h.L2Stats().MissRatio(),
-		BrAcc:     st.CondAccuracy(),
+		Config:     cfg.Name,
+		Bench:      src.Name(),
+		Suite:      src.Suite().String(),
+		Scale:      cell.Scale.String(),
+		MaxInstr:   cell.MaxInstr,
+		MaxCycles:  cell.MaxCycles,
+		SkipInstr:  cell.SkipInstr,
+		Workload:   cell.Workload,
+		WorkloadID: cell.WorkloadID,
+		IPC:        st.IPC,
+		Stats:      *st,
+		DL1Miss:    h.L1DStats().MissRatio(),
+		L2Local:    h.L2Stats().MissRatio(),
+		BrAcc:      st.CondAccuracy(),
 	}
 	if s.opt.Log != nil {
 		fmt.Fprintf(s.opt.Log, "  ran %-10s on %-16s IPC=%.3f cycles=%d dl1=%.3f l2=%.3f\n",
-			spec.Name, cfg.Name, rec.IPC, rec.Stats.Cycles, rec.DL1Miss, rec.L2Local)
+			src.Name(), cfg.Name, rec.IPC, rec.Stats.Cycles, rec.DL1Miss, rec.L2Local)
 	}
 	return rec, nil
 }
@@ -428,10 +515,10 @@ func (s *Session) execCell(cell campaign.Cell) (*campaign.Record, error) {
 // the record aggregates the measured windows into a point estimate with
 // a confidence interval. Interval completions feed the engine's progress
 // counters so a sampled campaign's progress line shows interval k/N.
-func (s *Session) execSampledCell(cell campaign.Cell, spec workload.Spec, prog *isa.Program) (*campaign.Record, error) {
+func (s *Session) execSampledCell(cell campaign.Cell, src workload.Source, prog *isa.Program) (*campaign.Record, error) {
 	plan := *cell.Sampling
 	if !plan.Resolved() {
-		key := cell.Bench + "/" + cell.Scale.String()
+		key := src.Identity() + "/" + cell.Scale.String()
 		v, ok := s.progLen.Load(key)
 		if !ok {
 			total, err := sample.ProgramLength(prog)
@@ -457,19 +544,21 @@ func (s *Session) execSampledCell(cell campaign.Cell, spec workload.Spec, prog *
 	if err != nil {
 		var se *core.SimError
 		if errors.As(err, &se) {
-			se.Bench = spec.Name
+			se.Bench = src.Name()
 			se.Scale = cell.Scale.String()
 		}
 		return nil, err
 	}
 	rec := &campaign.Record{
-		Config:    cell.Config.Name,
-		Bench:     spec.Name,
-		Suite:     spec.Suite.String(),
-		Scale:     cell.Scale.String(),
-		MaxInstr:  cell.MaxInstr,
-		MaxCycles: cell.MaxCycles,
-		SkipInstr: cell.SkipInstr,
+		Config:     cell.Config.Name,
+		Bench:      src.Name(),
+		Suite:      src.Suite().String(),
+		Scale:      cell.Scale.String(),
+		MaxInstr:   cell.MaxInstr,
+		MaxCycles:  cell.MaxCycles,
+		SkipInstr:  cell.SkipInstr,
+		Workload:   cell.Workload,
+		WorkloadID: cell.WorkloadID,
 
 		IPC:     out.MeanIPC,
 		Stats:   out.Stats,
@@ -485,7 +574,7 @@ func (s *Session) execSampledCell(cell campaign.Cell, spec workload.Spec, prog *
 	}
 	if s.opt.Log != nil {
 		fmt.Fprintf(s.opt.Log, "  ran %-10s on %-16s IPC=%.3f ±%.3f (%d intervals) dl1=%.3f l2=%.3f\n",
-			spec.Name, cell.Config.Name, rec.IPC, rec.IPCCI95, rec.Intervals, rec.DL1Miss, rec.L2Local)
+			src.Name(), cell.Config.Name, rec.IPC, rec.IPCCI95, rec.Intervals, rec.DL1Miss, rec.L2Local)
 	}
 	return rec, nil
 }
@@ -499,14 +588,14 @@ func (s *Session) checkpointFor(cell campaign.Cell, prog *isa.Program) (*emu.Che
 	if s.ckpts == nil {
 		return build()
 	}
-	key := campaign.CheckpointKey{Bench: cell.Bench, Scale: cell.Scale, Skip: cell.SkipInstr}
+	key := campaign.CheckpointKey{Bench: cell.Bench, Scale: cell.Scale, Skip: cell.SkipInstr, Workload: cell.WorkloadID}
 	return s.ckpts.Get(key, build)
 }
 
 // attachTelemetry wires a per-cell JSONL collector when TelemetryDir is
 // set. The returned closer flushes the stream with the run's final cycle
 // count; it is nil when telemetry is off.
-func (s *Session) attachTelemetry(p *core.Processor, cfg core.Config, spec workload.Spec) (func(int64) error, error) {
+func (s *Session) attachTelemetry(p *core.Processor, cfg core.Config, src workload.Source) (func(int64) error, error) {
 	if s.opt.TelemetryDir == "" {
 		return nil, nil
 	}
@@ -518,7 +607,7 @@ func (s *Session) attachTelemetry(p *core.Processor, cfg core.Config, spec workl
 			return '_'
 		}
 		return r
-	}, cfg.Name) + "-" + spec.Name + ".jsonl"
+	}, cfg.Name) + "-" + src.Name() + ".jsonl"
 	f, err := os.Create(filepath.Join(s.opt.TelemetryDir, name))
 	if err != nil {
 		return nil, fmt.Errorf("harness: telemetry file: %w", err)
@@ -568,24 +657,27 @@ func (s *Session) ExecCell(cell campaign.Cell) (rec *campaign.Record, err error)
 // of them at once. Failed cells are also recorded on the session —
 // see Failures and FailureSummary.
 func (s *Session) RunAll(cfg core.Config) (map[string]*Result, error) {
-	specs := s.benchmarks()
-	out := make(map[string]*Result, len(specs))
-	errs := make([]error, len(specs))
+	srcs, err := s.benchmarks()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Result, len(srcs))
+	errs := make([]error, len(srcs))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	for i, spec := range specs {
-		i, spec := i, spec
+	for i, src := range srcs {
+		i, src := i, src
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r, err := s.Run(cfg, spec)
+			r, err := s.Run(cfg, src)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			out[spec.Name] = r
+			out[resultKey(src)] = r
 		}()
 	}
 	wg.Wait()

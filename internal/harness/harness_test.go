@@ -26,7 +26,8 @@ func testSession(benches ...string) *Session {
 func TestRunProducesResult(t *testing.T) {
 	s := testSession("treeadd")
 	spec, _ := workload.Get("treeadd")
-	r, err := s.Run(core.DefaultConfig(), spec)
+	src := spec.Source()
+	r, err := s.Run(core.DefaultConfig(), src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,11 +42,12 @@ func TestRunProducesResult(t *testing.T) {
 func TestRunMemoizes(t *testing.T) {
 	s := testSession("treeadd")
 	spec, _ := workload.Get("treeadd")
-	r1, err := s.Run(core.DefaultConfig(), spec)
+	src := spec.Source()
+	r1, err := s.Run(core.DefaultConfig(), src)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := s.Run(core.DefaultConfig(), spec)
+	r2, err := s.Run(core.DefaultConfig(), src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,8 +161,8 @@ func TestRunAllSurvivesFaultyCell(t *testing.T) {
 		MaxInstr:   5_000,
 		Scale:      workload.ScaleTest,
 		Benchmarks: []string{"mst", "treeadd", "art"},
-		PreRun: func(p *core.Processor, cfg core.Config, spec workload.Spec) {
-			if spec.Name != "mst" {
+		PreRun: func(p *core.Processor, cfg core.Config, src workload.Source) {
+			if src.Name() != "mst" {
 				return
 			}
 			sabotaged.Add(1)
@@ -218,7 +220,8 @@ func TestRunAllSurvivesFaultyCell(t *testing.T) {
 	// recorded error without re-running it.
 	before := sabotaged.Load()
 	spec, _ := workload.Get("mst")
-	if _, err2 := s.Run(cfg, spec); err2 == nil {
+	src := spec.Source()
+	if _, err2 := s.Run(cfg, src); err2 == nil {
 		t.Error("memoized failure returned nil error")
 	}
 	if sabotaged.Load() != before {
@@ -240,7 +243,8 @@ func TestRunDeadlineRetriesTransient(t *testing.T) {
 		Log:         &log,
 	})
 	spec, _ := workload.Get("treeadd")
-	_, err := s.Run(core.DefaultConfig(), spec)
+	src := spec.Source()
+	_, err := s.Run(core.DefaultConfig(), src)
 	if err == nil {
 		t.Fatal("1ns deadline did not fail the run")
 	}

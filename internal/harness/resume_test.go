@@ -28,8 +28,8 @@ func TestSessionResumeAfterCrash(t *testing.T) {
 	cfg.Name = "debug-base"
 	cfg.Debug = true
 
-	sabotage := func(p *core.Processor, c core.Config, spec workload.Spec) {
-		if !crashed[spec.Name] {
+	sabotage := func(p *core.Processor, c core.Config, src workload.Source) {
+		if !crashed[src.Name()] {
 			return
 		}
 		// Step the machine until the injector finds a victim; the
@@ -85,9 +85,9 @@ func TestSessionResumeAfterCrash(t *testing.T) {
 		Benchmarks: benches,
 		CacheDir:   cacheDir,
 		Resume:     true,
-		PreRun: func(p *core.Processor, c core.Config, spec workload.Spec) {
+		PreRun: func(p *core.Processor, c core.Config, src workload.Source) {
 			mu.Lock()
-			executed[spec.Name]++
+			executed[src.Name()]++
 			mu.Unlock()
 		},
 	})
@@ -142,8 +142,8 @@ func TestSessionResumeAfterCrash(t *testing.T) {
 		Benchmarks: benches,
 		CacheDir:   cacheDir,
 		Resume:     true,
-		PreRun: func(p *core.Processor, c core.Config, spec workload.Spec) {
-			t.Errorf("complete cache still executed %s", spec.Name)
+		PreRun: func(p *core.Processor, c core.Config, src workload.Source) {
+			t.Errorf("complete cache still executed %s", src.Name())
 		},
 	})
 	if _, err := s3.RunAll(cfg); err != nil {

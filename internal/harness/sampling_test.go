@@ -85,8 +85,9 @@ func TestSampledSessionResults(t *testing.T) {
 		Benchmarks: []string{"mgrid"},
 	}
 	spec, _ := workload.Get("mgrid")
+	src := spec.Source()
 	s := NewSession(opt)
-	res, err := s.Run(core.WIBDefault(), spec)
+	res, err := s.Run(core.WIBDefault(), src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestSampledSessionResults(t *testing.T) {
 
 	opt.Resume = true
 	s2 := NewSession(opt)
-	res2, err := s2.Run(core.WIBDefault(), spec)
+	res2, err := s2.Run(core.WIBDefault(), src)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -72,7 +72,6 @@ func (w liveWarm) WarmBranch(b emu.WarmBranch) {
 	w.bp.WarmBranch(b.PC, b.Target, b.Taken, b.Cond, b.BTB)
 }
 
-
 // ProgramLength runs a throwaway functional machine to completion and
 // returns the program's dynamic instruction count — what auto-period
 // plans resolve against. It costs one emulator pass (~74M instrs/s);

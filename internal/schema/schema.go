@@ -19,10 +19,11 @@ import (
 const (
 	// ResultVersion covers campaign cell records and the public
 	// largewindow.Result encoding. Version 2 adds the sampled-simulation
-	// fields (plan, interval IPCs, stddev, 95% CI); encoders stamp v1 when
-	// those fields are absent, so unsampled artifacts stay byte-identical
-	// to version 1 and old readers keep decoding them.
-	ResultVersion = 2
+	// fields (plan, interval IPCs, stddev, 95% CI); version 3 adds the
+	// workload identity fields for trace/synthetic sources. Encoders stamp
+	// the minimal version whose fields the record uses, so pre-existing
+	// artifacts stay byte-identical and old readers keep decoding them.
+	ResultVersion = 3
 	// CrashDumpVersion covers core.SimError JSON crash dumps. Version 0
 	// is the legacy pre-versioning encoding, still accepted on decode.
 	CrashDumpVersion = 1
@@ -38,8 +39,10 @@ const (
 	// understands instead of misreading them. Version 2 carries sampling
 	// plans inside cells: a v1 worker leasing from a v2 coordinator
 	// rejects the response rather than silently running the cell without
-	// its plan.
-	ServiceVersion = 2
+	// its plan. Version 3 carries workload refs + content identities
+	// inside cells, so trace/synthetic workloads dispatch by name without
+	// shipping program bytes.
+	ServiceVersion = 3
 	// EventVersion covers the coordinator's SSE lifecycle-event stream
 	// (internal/obs): every event carries it inline so dashboard clients
 	// can refuse streams newer than they understand.
@@ -48,6 +51,10 @@ const (
 	// `wibserve -span-log` writes and `wibtrace -fleet` stitches into a
 	// Chrome trace.
 	SpanVersion = 1
+	// TraceVersion covers the binary workload trace container
+	// (internal/trace, `.wtr` files): the version is stamped both in the
+	// uvarint format field and in the JSON header's schema_version.
+	TraceVersion = 1
 )
 
 // Header is the leading line of stream-shaped artifacts (telemetry JSONL)

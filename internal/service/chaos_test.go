@@ -125,7 +125,7 @@ func TestChaosSweepByteIdentical(t *testing.T) {
 	exec := harness.NewSession(harness.Options{Scale: workload.ScaleTest})
 	sabotage := harness.NewSession(harness.Options{
 		Scale: workload.ScaleTest,
-		PreRun: func(p *core.Processor, cfg core.Config, spec workload.Spec) {
+		PreRun: func(p *core.Processor, cfg core.Config, src workload.Source) {
 			rng := rand.New(rand.NewSource(7))
 			for cyc := int64(200); cyc <= 20_000; cyc += 200 {
 				if _, err := p.Run(0, cyc); !errors.Is(err, core.ErrBudget) {

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"largewindow/internal/workload"
+)
+
+// recordGzip is a small shared fixture: a full-halt recording of the
+// treeadd kernel at test scale.
+func recordFixture(t *testing.T) *Trace {
+	t.Helper()
+	src, err := workload.ParseRef("bench:treeadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Record(src, workload.ScaleTest, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestEncodeDecodeEncodeByteIdentity is the property test the issue
+// gates on: encode → decode → encode must reproduce the exact bytes,
+// and the digest must be unchanged.
+func TestEncodeDecodeEncodeByteIdentity(t *testing.T) {
+	tr := recordFixture(t)
+	for _, gz := range []bool{false, true} {
+		var first bytes.Buffer
+		if err := tr.Write(&first, gz); err != nil {
+			t.Fatalf("gz=%v: write: %v", gz, err)
+		}
+		dec, err := Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("gz=%v: read back: %v", gz, err)
+		}
+		var second bytes.Buffer
+		if err := dec.Write(&second, gz); err != nil {
+			t.Fatalf("gz=%v: re-write: %v", gz, err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Errorf("gz=%v: encode→decode→encode changed bytes (%d vs %d)", gz, first.Len(), second.Len())
+		}
+		if dec.Digest() != tr.Digest() {
+			t.Errorf("gz=%v: digest changed across decode: %s vs %s", gz, dec.Digest(), tr.Digest())
+		}
+	}
+}
+
+// TestGzipDigestStable: compressing must not change content identity.
+func TestGzipDigestStable(t *testing.T) {
+	tr := recordFixture(t)
+	var plain, zipped bytes.Buffer
+	if err := tr.Write(&plain, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Write(&zipped, true); err != nil {
+		t.Fatal(err)
+	}
+	if zipped.Len() >= plain.Len() {
+		t.Errorf("gzip body did not shrink: %d vs %d", zipped.Len(), plain.Len())
+	}
+	dp, err := Read(bytes.NewReader(plain.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dz, err := Read(bytes.NewReader(zipped.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.Digest() != dz.Digest() || dp.Identity() != dz.Identity() {
+		t.Errorf("identity differs across compression: %s vs %s", dp.Identity(), dz.Identity())
+	}
+}
+
+func TestReadTypedErrors(t *testing.T) {
+	tr := recordFixture(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	if _, err := Read(bytes.NewReader([]byte("not a trace at all"))); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: got %v", err)
+	}
+	for _, cut := range []int{6, 20, len(full) / 2, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:cut])); !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+			t.Errorf("truncated at %d: got %v", cut, err)
+		}
+	}
+	// Version skew: bump the uvarint version byte after magic+flags.
+	skew := append([]byte{}, full...)
+	skew[5] = 0x7f
+	if _, err := Read(bytes.NewReader(skew)); !errors.Is(err, ErrVersion) {
+		t.Errorf("version skew: got %v", err)
+	}
+	// Unknown flags.
+	bad := append([]byte{}, full...)
+	bad[4] = 0x80
+	if _, err := Read(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("unknown flags: got %v", err)
+	}
+}
+
+func TestVerifyFixture(t *testing.T) {
+	tr := recordFixture(t)
+	if err := tr.Verify(); err != nil {
+		t.Fatalf("freshly recorded trace fails Verify: %v", err)
+	}
+	if !tr.Halted || tr.Instrs == 0 || uint64(len(tr.Records)) != tr.Instrs {
+		t.Errorf("fixture metadata off: halted=%v instrs=%d records=%d", tr.Halted, tr.Instrs, len(tr.Records))
+	}
+	// Tampering with a record must fail Verify.
+	tam := *tr
+	tam.Records = append([]Rec{}, tr.Records...)
+	tam.Records[len(tam.Records)/2].PC++
+	if err := tam.Verify(); !errors.Is(err, ErrInvalid) {
+		t.Errorf("tampered record passed Verify: %v", err)
+	}
+}
+
+func TestRecordBudget(t *testing.T) {
+	src, err := workload.ParseRef("bench:treeadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Record(src, workload.ScaleTest, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 500 || tr.Halted {
+		t.Errorf("budgeted recording: records=%d halted=%v", len(tr.Records), tr.Halted)
+	}
+	if err := tr.Verify(); err != nil {
+		t.Errorf("budgeted trace fails Verify: %v", err)
+	}
+}
+
+func TestRecordRefRejectsTraceOfTrace(t *testing.T) {
+	tr := recordFixture(t)
+	path := t.TempDir() + "/fixture.wtr"
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RecordRef("trace:"+path, workload.ScaleTest, 100); err == nil {
+		t.Error("re-recording a trace file should be rejected")
+	}
+}

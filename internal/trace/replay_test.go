@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+
+	"largewindow/internal/core"
+	"largewindow/internal/workload"
+)
+
+// TestReplayBitIdenticalStats is the acceptance property: simulating
+// the program reconstructed from a recorded trace produces Stats
+// byte-identical to simulating the builder program directly, on both
+// the baseline and WIB configurations.
+func TestReplayBitIdenticalStats(t *testing.T) {
+	for _, bench := range []string{"gzip", "art", "treeadd"} {
+		for _, cfg := range []core.Config{core.DefaultConfig(), core.WIBDefault()} {
+			src, err := workload.ParseRef("bench:" + bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := Record(src, workload.ScaleTest, 0)
+			if err != nil {
+				t.Fatalf("%s: record: %v", bench, err)
+			}
+
+			direct, err := src.Build(workload.ScaleTest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p1, err := core.New(cfg, direct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := p1.Run(200_000, 0)
+			if err != nil {
+				t.Fatalf("%s/%s: direct run: %v", bench, cfg.Name, err)
+			}
+
+			p2, err := core.New(cfg, tr.Program())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := p2.Run(200_000, 0)
+			if err != nil {
+				t.Fatalf("%s/%s: replay run: %v", bench, cfg.Name, err)
+			}
+
+			wj, err := json.Marshal(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gj, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(wj) != string(gj) {
+				t.Errorf("%s/%s: replay stats differ from direct run\ndirect: %s\nreplay: %s",
+					bench, cfg.Name, wj, gj)
+			}
+		}
+	}
+}
+
+// TestReplayRoundTripThroughFile repeats the bit-identity check through
+// an actual .wtr file including gzip, exercising the full
+// record→write→read→replay path the CLIs use.
+func TestReplayRoundTripThroughFile(t *testing.T) {
+	src, err := workload.ParseRef("bench:art")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Record(src, workload.ScaleTest, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/art.wtr.gz"
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	fsrc, err := workload.ParseRef("trace:" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsrc.Name() != "art" || fsrc.Identity() != tr.Identity() {
+		t.Fatalf("file source name=%q identity=%q, want art/%s", fsrc.Name(), fsrc.Identity(), tr.Identity())
+	}
+	if fsrc.Suite() != workload.SuiteFP {
+		t.Errorf("file source suite = %v, want SPEC-FP", fsrc.Suite())
+	}
+
+	direct, err := src.Build(workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := fsrc.Build(workload.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	p1, err := core.New(cfg, direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p1.Run(100_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := core.New(cfg, replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.Run(100_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj, _ := json.Marshal(want)
+	gj, _ := json.Marshal(got)
+	if string(wj) != string(gj) {
+		t.Errorf("file-replayed stats differ:\ndirect: %s\nreplay: %s", wj, gj)
+	}
+}

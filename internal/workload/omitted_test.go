@@ -7,12 +7,21 @@ import (
 )
 
 func TestOmittedExcludedFromSuites(t *testing.T) {
+	if got := OmittedNames(); len(got) != 2 || got[0] != "ammp" || got[1] != "health" {
+		t.Fatalf("OmittedNames = %v, want [ammp health]", got)
+	}
 	for _, name := range OmittedNames() {
-		if _, ok := Get(name); ok {
-			t.Errorf("%s leaked into the evaluation suites", name)
+		sp, ok := Get(name)
+		if !ok || !sp.Omitted {
+			t.Errorf("%s not retrievable via Get with Omitted set", name)
 		}
 		if _, ok := GetOmitted(name); !ok {
-			t.Errorf("%s not retrievable via GetOmitted", name)
+			t.Errorf("%s not retrievable via the deprecated GetOmitted wrapper", name)
+		}
+	}
+	for _, sp := range All() {
+		if sp.Omitted {
+			t.Errorf("%s leaked into the evaluation suites", sp.Name)
 		}
 	}
 	if _, ok := GetOmitted("art"); ok {
@@ -22,7 +31,7 @@ func TestOmittedExcludedFromSuites(t *testing.T) {
 
 func TestOmittedKernelsTerminate(t *testing.T) {
 	for _, name := range OmittedNames() {
-		spec, _ := GetOmitted(name)
+		spec, _ := Get(name)
 		m := emu.New(spec.Build(ScaleTest))
 		n, err := m.Run(30_000_000)
 		if err != nil {

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"largewindow/internal/isa"
+)
+
+// Source is the workload abstraction the rest of the system runs
+// against: builder kernels, recorded trace files, and synthetic specs
+// all implement it. A Source separates three concerns the old
+// string-keyed Benchmark(name, scale) surface conflated:
+//
+//   - Ref() is the resolvable spelling ("bench:gcc", "trace:path.wtr",
+//     "synth:mlp=4,..."): how a CLI or a distributed worker finds the
+//     workload again. Refs may name local files and are NOT part of
+//     workload identity.
+//   - Identity() is the stable content-derived identity
+//     ("bench:gcc", "trace:sha256:<hex>", "synth:<canonical-spec>"):
+//     what flows into campaign cell IDs, checkpoint keys, and cached
+//     records, so results never collide across distinct content and
+//     never split across spellings of the same content.
+//   - Build(scale) materializes the program. Sources backed by fixed
+//     content (traces) ignore the scale.
+type Source interface {
+	// Name is the short display name used in reports and records
+	// (for a trace, the name of the recorded program).
+	Name() string
+	// Suite is the benchmark suite for table grouping; SuiteExternal
+	// for workloads outside the paper's evaluation set.
+	Suite() Suite
+	// Ref returns the resolvable reference this source was created from.
+	Ref() string
+	// Identity returns the stable content-derived identity string.
+	Identity() string
+	// Build materializes the program at the given scale.
+	Build(Scale) (*isa.Program, error)
+}
+
+// SchemeBench is the ref scheme of registry kernels; bare names parse
+// as bench refs.
+const SchemeBench = "bench"
+
+// Resolver turns the payload of a ref (everything after "scheme:")
+// into a Source. Resolution may touch the filesystem; it must not be
+// needed to compute identity of an already-resolved Source.
+type Resolver func(payload string) (Source, error)
+
+var schemes = map[string]Resolver{}
+
+// RegisterScheme installs a resolver for refs of the form
+// "<scheme>:<payload>". It follows the database/sql driver pattern:
+// packages providing a workload kind (internal/trace) register their
+// scheme from init(), and consumers import them for the side effect.
+// Registering a duplicate or reserved scheme panics.
+func RegisterScheme(scheme string, r Resolver) {
+	if scheme == "" || r == nil {
+		panic("workload: RegisterScheme with empty scheme or nil resolver")
+	}
+	if scheme == SchemeBench {
+		panic("workload: scheme bench is reserved for the kernel registry")
+	}
+	if _, dup := schemes[scheme]; dup {
+		panic("workload: duplicate scheme " + scheme)
+	}
+	schemes[scheme] = r
+}
+
+// ParseRef resolves a workload reference to a Source. Accepted forms:
+//
+//	gcc                  bare kernel name (sugar for bench:gcc)
+//	bench:gcc            registry kernel, including omitted kernels
+//	trace:path/to.wtr    recorded trace file (internal/trace)
+//	synth:mlp=4,...      parameterized synthetic workload (internal/trace)
+//
+// Unknown schemes and unknown kernel names return an error. A bare
+// name containing no ':' always parses as a kernel name, so kernel
+// names can never shadow a scheme.
+func ParseRef(ref string) (Source, error) {
+	scheme, payload, ok := strings.Cut(ref, ":")
+	if !ok {
+		scheme, payload = SchemeBench, ref
+	}
+	if scheme == SchemeBench {
+		sp, ok := Get(payload)
+		if !ok {
+			return nil, fmt.Errorf("workload: unknown benchmark %q (known: %s)",
+				payload, strings.Join(Names(), ", "))
+		}
+		return sp.Source(), nil
+	}
+	r, ok := schemes[scheme]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload scheme %q in ref %q", scheme, ref)
+	}
+	src, err := r(payload)
+	if err != nil {
+		return nil, fmt.Errorf("workload: resolving %q: %w", ref, err)
+	}
+	return src, nil
+}
+
+// IsBench reports whether the source is a registry kernel (its
+// identity is its name, and campaign cells carry no workload ref for
+// it — preserving pre-Source cell IDs).
+func IsBench(src Source) bool {
+	return strings.HasPrefix(src.Identity(), SchemeBench+":")
+}
+
+// benchSource adapts a registry Spec to the Source interface. Identity
+// for builder kernels is nominal, not content-derived: the kernel
+// generators are part of this repository, so the name pins the content
+// at any given commit — and nominal identity keeps cell IDs stable
+// with pre-Source caches.
+type benchSource struct{ sp Spec }
+
+// Source adapts the Spec to the Source interface.
+func (sp Spec) Source() Source { return benchSource{sp: sp} }
+
+func (b benchSource) Name() string     { return b.sp.Name }
+func (b benchSource) Suite() Suite     { return b.sp.Suite }
+func (b benchSource) Ref() string      { return SchemeBench + ":" + b.sp.Name }
+func (b benchSource) Identity() string { return SchemeBench + ":" + b.sp.Name }
+
+func (b benchSource) Build(sc Scale) (*isa.Program, error) {
+	return b.sp.Build(sc), nil
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRefBench(t *testing.T) {
+	for _, ref := range []string{"gcc", "bench:gcc"} {
+		src, err := ParseRef(ref)
+		if err != nil {
+			t.Fatalf("ParseRef(%q): %v", ref, err)
+		}
+		if src.Name() != "gcc" || src.Suite() != SuiteInt {
+			t.Errorf("ParseRef(%q) = %s/%s", ref, src.Name(), src.Suite())
+		}
+		if src.Ref() != "bench:gcc" || src.Identity() != "bench:gcc" {
+			t.Errorf("ParseRef(%q) ref/identity = %q/%q", ref, src.Ref(), src.Identity())
+		}
+		if !IsBench(src) {
+			t.Errorf("IsBench(%q) = false", ref)
+		}
+		prog, err := src.Build(ScaleTest)
+		if err != nil || prog == nil || len(prog.Code) == 0 {
+			t.Errorf("ParseRef(%q).Build: prog=%v err=%v", ref, prog, err)
+		}
+	}
+}
+
+func TestParseRefOmittedKernel(t *testing.T) {
+	src, err := ParseRef("bench:health")
+	if err != nil {
+		t.Fatalf("omitted kernels must resolve through bench refs: %v", err)
+	}
+	if src.Name() != "health" {
+		t.Errorf("Name = %q", src.Name())
+	}
+}
+
+func TestParseRefErrors(t *testing.T) {
+	if _, err := ParseRef("nope"); err == nil || !strings.Contains(err.Error(), "unknown benchmark") {
+		t.Errorf("bare unknown name: err = %v", err)
+	}
+	if _, err := ParseRef("bogus:stuff"); err == nil || !strings.Contains(err.Error(), "unknown workload scheme") {
+		t.Errorf("unknown scheme: err = %v", err)
+	}
+}
+
+func TestRegisterSchemeGuards(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		scheme string
+		r      Resolver
+	}{
+		{"empty", "", func(string) (Source, error) { return nil, nil }},
+		{"nil resolver", "x", nil},
+		{"reserved bench", SchemeBench, func(string) (Source, error) { return nil, nil }},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: RegisterScheme did not panic", tc.name)
+				}
+			}()
+			RegisterScheme(tc.scheme, tc.r)
+		}()
+	}
+}

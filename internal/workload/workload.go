@@ -23,11 +23,14 @@ import (
 // Suite identifies the benchmark suite a kernel stands in for.
 type Suite int
 
-// Benchmark suites used in the paper's evaluation.
+// Benchmark suites used in the paper's evaluation, plus SuiteExternal
+// for workloads that do not stand in for a paper program (trace files,
+// synthetic specs).
 const (
 	SuiteInt Suite = iota
 	SuiteFP
 	SuiteOlden
+	SuiteExternal
 )
 
 func (s Suite) String() string {
@@ -38,6 +41,8 @@ func (s Suite) String() string {
 		return "SPEC-FP"
 	case SuiteOlden:
 		return "Olden"
+	case SuiteExternal:
+		return "external"
 	default:
 		return fmt.Sprintf("suite%d", int(s))
 	}
@@ -53,6 +58,8 @@ func ParseSuite(s string) (Suite, bool) {
 		return SuiteFP, true
 	case "Olden":
 		return SuiteOlden, true
+	case "external":
+		return SuiteExternal, true
 	default:
 		return 0, false
 	}
@@ -96,11 +103,15 @@ func ParseScale(s string) (Scale, bool) {
 	}
 }
 
-// Spec describes one benchmark kernel.
+// Spec describes one benchmark kernel. Omitted marks kernels that are
+// registered (resolvable through Get and `bench:` refs) but excluded
+// from the paper's evaluation set (All/BySuite/Names) — the analogue of
+// the paper omitting a SPEC program from its tables.
 type Spec struct {
-	Name  string
-	Suite Suite
-	Build func(Scale) *isa.Program
+	Name    string
+	Suite   Suite
+	Build   func(Scale) *isa.Program
+	Omitted bool
 }
 
 var registry = map[string]Spec{}
@@ -109,11 +120,16 @@ func register(name string, suite Suite, build func(Scale) *isa.Program) {
 	registry[name] = Spec{Name: name, Suite: suite, Build: build}
 }
 
-// All returns every kernel, ordered as the paper's tables list them
-// (integer, floating point, Olden; alphabetical within suite).
+// All returns every evaluation kernel, ordered as the paper's tables
+// list them (integer, floating point, Olden; alphabetical within
+// suite). Omitted kernels are filtered out; they remain reachable by
+// name through Get.
 func All() []Spec {
 	var out []Spec
 	for _, s := range registry {
+		if s.Omitted {
+			continue
+		}
 		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -125,7 +141,7 @@ func All() []Spec {
 	return out
 }
 
-// BySuite returns the kernels of one suite in table order.
+// BySuite returns the evaluation kernels of one suite in table order.
 func BySuite(s Suite) []Spec {
 	var out []Spec
 	for _, sp := range All() {
@@ -136,13 +152,14 @@ func BySuite(s Suite) []Spec {
 	return out
 }
 
-// Get looks a kernel up by name.
+// Get looks a kernel up by name. Both evaluation and omitted kernels
+// resolve; use Spec.Omitted (or All) to distinguish.
 func Get(name string) (Spec, bool) {
 	s, ok := registry[name]
 	return s, ok
 }
 
-// Names returns all kernel names in table order.
+// Names returns all evaluation kernel names in table order.
 func Names() []string {
 	var out []string
 	for _, s := range All() {

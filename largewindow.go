@@ -46,6 +46,7 @@ import (
 	"largewindow/internal/isa"
 	"largewindow/internal/sample"
 	"largewindow/internal/telemetry"
+	_ "largewindow/internal/trace" // register trace: and synth: workload schemes
 	"largewindow/internal/workload"
 )
 
@@ -93,21 +94,57 @@ func ScaledConfig(issueQueue, activeList int) Config {
 // NewBuilder starts a new program.
 func NewBuilder(name string) *Builder { return isa.NewBuilder(name) }
 
+// Workload is a source of programs to simulate: a registry benchmark, a
+// recorded trace file, or a parameterized synthetic kernel. Every source
+// has a resolvable Ref ("bench:gcc", "trace:runs/gcc.wtr",
+// "synth:mlp=4,miss=0.1") and a stable content-derived Identity that
+// campaign cell IDs and checkpoint keys are addressed by.
+type Workload = workload.Source
+
+// ParseWorkloadRef resolves a workload reference to its source. Bare
+// names are benchmark lookups ("gcc" ≡ "bench:gcc"); "trace:<path>"
+// opens a recorded .wtr trace (lazily — a missing file surfaces on first
+// build); "synth:<spec>" parses a synthetic kernel spec such as
+// "synth:mlp=4,miss=0.1,entropy=0.8,ws=1m". Unknown schemes and unknown
+// benchmark names return an error.
+func ParseWorkloadRef(ref string) (Workload, error) {
+	src, err := workload.ParseRef(ref)
+	if err != nil {
+		return nil, fmt.Errorf("largewindow: %w", err)
+	}
+	return src, nil
+}
+
+// WorkloadProgram builds the program behind a workload source at the
+// given scale (traces ignore scale — their content is fixed).
+func WorkloadProgram(w Workload, scale Scale) (*Program, error) {
+	return w.Build(scale)
+}
+
 // LookupBenchmark builds one of the evaluation kernels by name ("art",
 // "treeadd", ...). Unknown names return an error that lists every valid
 // benchmark.
+//
+// Deprecated: Use ParseWorkloadRef, which also accepts trace: and synth:
+// refs, and build via Workload.Build.
 func LookupBenchmark(name string, scale Scale) (*Program, error) {
-	spec, ok := workload.Get(name)
-	if !ok {
+	if _, ok := workload.Get(name); !ok {
 		return nil, fmt.Errorf("largewindow: unknown benchmark %q (valid: %s)",
 			name, strings.Join(workload.Names(), ", "))
 	}
-	return spec.Build(scale), nil
+	src, err := ParseWorkloadRef(name)
+	if err != nil {
+		return nil, err
+	}
+	return src.Build(scale)
 }
 
 // Benchmark is LookupBenchmark for the quick-start path: it panics on
 // unknown names (the message lists every valid benchmark) so the happy
 // path stays one line.
+//
+// Deprecated: Use ParseWorkloadRef + Workload.Build and handle the
+// error.
 func Benchmark(name string, scale Scale) *Program {
 	prog, err := LookupBenchmark(name, scale)
 	if err != nil {
@@ -208,6 +245,8 @@ type simOptions struct {
 	skipInstr      uint64
 	checkpoint     *Checkpoint
 	sampling       *SamplingPlan
+	workload       Workload
+	workloadScale  Scale
 }
 
 // Option configures a SimulateContext run.
@@ -263,6 +302,22 @@ func WithSampling(plan SamplingPlan) Option {
 	return func(o *simOptions) { o.sampling = &plan }
 }
 
+// WithWorkload builds the program to simulate from a workload source
+// (see ParseWorkloadRef) at the given scale, in place of the prog
+// argument — pass nil for prog:
+//
+//	w, _ := largewindow.ParseWorkloadRef("synth:mlp=4,miss=0.1")
+//	res, _ := largewindow.SimulateContext(ctx, cfg, nil,
+//	    largewindow.WithWorkload(w, largewindow.ScaleTest))
+//
+// Supplying both a non-nil prog and WithWorkload is an error.
+func WithWorkload(w Workload, scale Scale) Option {
+	return func(o *simOptions) {
+		o.workload = w
+		o.workloadScale = scale
+	}
+}
+
 // WithTelemetry attaches a cycle-sampled telemetry collector to the run
 // and streams schema-versioned JSONL samples to w. sampleInterval is the
 // sampling period in cycles (0 = the collector's default).
@@ -280,6 +335,18 @@ func SimulateContext(ctx context.Context, cfg Config, prog *Program, opts ...Opt
 	var o simOptions
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.workload != nil {
+		if prog != nil {
+			return nil, errors.New("largewindow: both prog and WithWorkload supplied; pass nil prog")
+		}
+		var err error
+		if prog, err = o.workload.Build(o.workloadScale); err != nil {
+			return nil, fmt.Errorf("largewindow: building workload %s: %w", o.workload.Ref(), err)
+		}
+	}
+	if prog == nil {
+		return nil, errors.New("largewindow: nil program (pass a *Program or WithWorkload)")
 	}
 	if o.sampling != nil {
 		out, err := sample.Run(ctx, cfg, prog, *o.sampling, o.maxCycles, nil)

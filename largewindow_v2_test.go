@@ -193,3 +193,64 @@ func TestResultJSONAcceptsLegacyUnversioned(t *testing.T) {
 		t.Error("legacy decode dropped fields")
 	}
 }
+
+func TestParseWorkloadRef(t *testing.T) {
+	w, err := ParseWorkloadRef("bench:gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "gzip" || w.Ref() != "bench:gzip" || w.Identity() != "bench:gzip" {
+		t.Errorf("bench source = %q/%q/%q", w.Name(), w.Ref(), w.Identity())
+	}
+	// Bare names resolve as bench refs.
+	if bare, err := ParseWorkloadRef("gzip"); err != nil || bare.Identity() != w.Identity() {
+		t.Errorf("bare name != bench ref: %v, %v", bare, err)
+	}
+	for _, bad := range []string{"nope", "warp:x", "synth:mlp=99"} {
+		if _, err := ParseWorkloadRef(bad); err == nil {
+			t.Errorf("ParseWorkloadRef(%q) accepted", bad)
+		}
+	}
+}
+
+func TestWithWorkload(t *testing.T) {
+	ctx := context.Background()
+	w, err := ParseWorkloadRef("synth:mlp=2,miss=0.05,entropy=0.5,ws=64k,n=20000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateContext(ctx, BaseConfig(), nil,
+		WithWorkload(w, ScaleTest), WithMaxInstr(5_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Committed < 5_000 {
+		t.Errorf("synth workload committed %d < budget", res.Stats.Committed)
+	}
+
+	// A bench workload through WithWorkload must match the prog path
+	// exactly.
+	bw, err := ParseWorkloadRef("bench:gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := SimulateContext(ctx, BaseConfig(), Benchmark("gzip", ScaleTest), WithMaxInstr(3_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := SimulateContext(ctx, BaseConfig(), nil, WithWorkload(bw, ScaleTest), WithMaxInstr(3_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Stats.Cycles != v2.Stats.Cycles || v1.Stats.StreamHash != v2.Stats.StreamHash {
+		t.Errorf("WithWorkload diverges from prog path: %d vs %d cycles", v1.Stats.Cycles, v2.Stats.Cycles)
+	}
+
+	// Supplying both prog and workload is an error; so is neither.
+	if _, err := SimulateContext(ctx, BaseConfig(), Benchmark("gzip", ScaleTest), WithWorkload(bw, ScaleTest)); err == nil {
+		t.Error("prog + WithWorkload accepted")
+	}
+	if _, err := SimulateContext(ctx, BaseConfig(), nil); err == nil {
+		t.Error("nil prog without WithWorkload accepted")
+	}
+}

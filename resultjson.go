@@ -27,13 +27,15 @@ type resultWire struct {
 	IntervalIPCs []float64     `json:"interval_ipcs,omitempty"`
 }
 
-// MarshalJSON encodes the result with its schema version: v1 for detailed
-// runs — byte-identical to pre-sampling encoders, so persisted results
-// and fixtures stay stable — and v2 when sampling fields are present.
+// MarshalJSON encodes the result with the minimal schema version its
+// fields require: v1 for detailed runs and v2 when sampling fields are
+// present — byte-identical to earlier encoders, so persisted results
+// and fixtures stay stable. (Result carries no workload identity
+// fields, so it never needs the v3 stamp campaign records use.)
 func (r Result) MarshalJSON() ([]byte, error) {
 	version := 1
 	if r.Sampling != nil {
-		version = schema.ResultVersion
+		version = 2
 	}
 	return json.Marshal(resultWire{
 		SchemaVersion:    version,

@@ -6,6 +6,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+    echo "FAIL: files need gofmt:"
+    echo "$unformatted"
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -34,6 +42,59 @@ if grep -rn 'largewindow\.Simulate(' cmd/ examples/ internal/ 2>/dev/null; then
     echo "FAIL: call sites above use the deprecated largewindow.Simulate — use SimulateContext"
     exit 1
 fi
+
+echo "== deprecated workload lookups are facade-only =="
+# New code resolves workloads through workload.Source / ParseRef; the
+# legacy Benchmark()/LookupBenchmark()/GetOmitted()/OmittedNames()
+# entry points survive only as thin wrappers in the root package and
+# internal/workload itself.
+if grep -rn 'largewindow\.Benchmark(\|largewindow\.LookupBenchmark(\|GetOmitted\|OmittedNames' \
+        cmd/ examples/ internal/ --include='*.go' | grep -v '^internal/workload/'; then
+    echo "FAIL: call sites above use deprecated workload lookups — use workload.ParseRef / Source"
+    exit 1
+fi
+
+echo "== trace record -> replay bit-identity =="
+# The acceptance bar for the trace frontend (DESIGN.md §13): replaying a
+# recorded trace must produce Stats bit-identical to simulating the
+# builder-built program, for three kernels spanning both suites. The
+# full wibsim report (IPC, miss ratios, MLP, WIB occupancy, ...) is
+# diffed verbatim.
+trdir="$(mktemp -d)"
+go build -o "$trdir/wibsim" ./cmd/wibsim
+for k in gzip art treeadd; do
+    "$trdir/wibsim" -bench "$k" -scale test -instr 0 \
+        -record-trace "$trdir/$k.wtr" >/dev/null
+    "$trdir/wibsim" -bench "$k" -scale test -instr 200000 -config wib \
+        >"$trdir/$k.direct.out"
+    "$trdir/wibsim" -bench "trace:$trdir/$k.wtr" -scale test -instr 200000 -config wib \
+        >"$trdir/$k.replay.out"
+    if ! diff -u "$trdir/$k.direct.out" "$trdir/$k.replay.out"; then
+        echo "FAIL: trace replay of $k diverges from the builder-built program"
+        rm -rf "$trdir"
+        exit 1
+    fi
+done
+rm -rf "$trdir"
+echo "  replay: 3 kernels bit-identical to direct simulation"
+
+echo "== synthetic generator calibration =="
+# The synth: dials must land where they claim: measured DL1 miss ratio
+# and branch-taken entropy within tolerance of the requested spec, and
+# the MLP / working-set dials must move their target metrics
+# monotonically.
+go test -count=1 -run 'TestSynthCalibration|TestSynthMLPDial|TestSynthL2Dial' ./internal/trace/
+
+echo "== trace decoder fuzz smoke (typed errors, never panic) =="
+go test -run '^$' -fuzz '^FuzzRead$' -fuzztime 10s ./internal/trace/
+
+echo "== external workloads through the campaign stack (race) =="
+# trace: and synth: refs must run end to end through a sampled, cached
+# campaign (resume recomputes zero cells) and through the distributed
+# coordinator/worker path (identity verified at the executor, dedup on
+# resubmit).
+go test -race -count=1 -run 'TestExternalWorkloadsSampledCachedResume|TestExternalWorkloadIdentityStability' ./internal/harness/
+go test -race -count=1 -run 'TestDistributedExternalWorkloads' ./internal/service/
 
 echo "== campaign resume smoke (race-enabled engine + zero recomputation) =="
 # fig4 on a benchmark subset at -parallel 4 under -race, persisted to a
