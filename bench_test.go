@@ -297,3 +297,105 @@ func BenchmarkSampledCampaign(b *testing.B) {
 	b.ReportMetric(detailed.Seconds()/sampled.Seconds(), "sample-speedup")
 	b.ReportMetric(100*sumErr/float64(cells), "sample-ipc-err")
 }
+
+// modelPrunedGrid is the design space BenchmarkModelPrunedCampaign sweeps:
+// deep conventional and WIB window-scaling ladders plus big-L2
+// alternative-area points. The ladders are deep enough that the interval
+// model's calibration anchors (the window extremes and midpoint of each
+// family) leave most of the grid for the model to answer. The bit-vector
+// axis is deliberately shallow here: column exhaustion collapses the
+// machine onto its small issue queues, a nonlinearity outside the
+// model's domain that the exploration's audit slice exists to flag (see
+// DESIGN.md §14).
+func modelPrunedGrid() []Config {
+	var grid []Config
+	for _, p := range [][2]int{
+		{32, 128}, {48, 192}, {64, 256}, {96, 384}, {128, 512}, {192, 768},
+		{256, 1024}, {384, 1536}, {512, 2048}, {1024, 2048}, {2048, 2048},
+	} {
+		grid = append(grid, ScaledConfig(p[0], p[1]))
+	}
+	for _, n := range []int{128, 192, 256, 384, 512, 768, 1024, 1536, 2048, 3072, 4096} {
+		grid = append(grid, WIBConfigSized(n, 64))
+	}
+	for _, base := range []Config{
+		BaseConfig(), ScaledConfig(2048, 2048),
+		WIBConfigSized(512, 64), WIBConfigSized(2048, 64),
+	} {
+		big := base
+		big.Mem.L2.SizeBytes = 1 << 20
+		big.Name += "/1MB-L2"
+		grid = append(grid, big)
+		l1 := base
+		l1.Mem.L1D.SizeBytes = 64 << 10
+		l1.Name += "/64KB-L1D"
+		grid = append(grid, l1)
+	}
+	return grid
+}
+
+// BenchmarkModelPrunedCampaign measures the interval model's win: a
+// 30-config × 6-kernel design-space sweep run cell-by-cell in the
+// detailed core versus explored with model pruning (profile once per
+// workload and cache family, simulate only the calibration anchors, the
+// predicted top-2 configs, and a 5% audit slice). The workload mix spans
+// both suites and all three memory personalities — latency-tolerant
+// (art, swim), pointer-chasing (mst, em3d, perimeter), and
+// cache-resident (gzip). The explore arm pays
+// all of its own costs — profiling passes, prediction, calibration, and
+// the audit simulations. "explore-speedup" is the wall-clock ratio;
+// "model-cpi-err" is the mean absolute percent error of the calibrated
+// per-cell cycle predictions against the full-detail truth over the
+// ENTIRE grid, not just the audit slice. scripts/check.sh gates the
+// recorded numbers at >= 3x and <= 10%.
+func BenchmarkModelPrunedCampaign(b *testing.B) {
+	cfgs := modelPrunedGrid()
+	benches := []string{"mst", "em3d", "art", "gzip", "swim", "perimeter"}
+	budget := benchBudget()
+	ctx := context.Background()
+
+	var full, explore time.Duration
+	var sumErr float64
+	var cells int
+	for i := 0; i < b.N; i++ {
+		truth := map[string]float64{}
+		start := time.Now()
+		for _, cfg := range cfgs {
+			for _, bench := range benches {
+				src, err := ParseWorkloadRef(bench)
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := SimulateContext(ctx, cfg, nil,
+					WithWorkload(src, ScaleRun), WithMaxInstr(budget))
+				if err != nil {
+					b.Fatal(err)
+				}
+				truth[cfg.Name+"\x00"+bench] = float64(r.Stats.Cycles)
+			}
+		}
+		full += time.Since(start)
+
+		start = time.Now()
+		rep, err := ExploreContext(ctx, cfgs, benches,
+			WithMaxInstr(budget), WithWorkloadScale(ScaleRun),
+			WithModelPrune(2, 0.05), WithExploreSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		explore += time.Since(start)
+		if rep.Pruned == 0 {
+			b.Fatal("model pruned no cells")
+		}
+		for _, p := range rep.Points {
+			t := truth[p.Config+"\x00"+p.Bench]
+			if t <= 0 {
+				b.Fatalf("no truth cell for %s × %s", p.Config, p.Bench)
+			}
+			sumErr += math.Abs(p.Pred.Cycles-t) / t
+			cells++
+		}
+	}
+	b.ReportMetric(full.Seconds()/explore.Seconds(), "explore-speedup")
+	b.ReportMetric(100*sumErr/float64(cells), "model-cpi-err")
+}

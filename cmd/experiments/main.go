@@ -11,6 +11,19 @@
 //	            [-server http://host:8420] [-watch]
 //	            [-deadline 2m] [-crash-dump dir]
 //	            [-telemetry-dir dir] [-sample-interval N] [-pprof cpu.prof]
+//	            [-explore] [-topk K] [-audit FRAC] [-seed N]
+//
+// -explore replaces the experiment tables with a model-pruned
+// design-space exploration (DESIGN.md §14): one fast functional
+// profiling pass per workload feeds the mechanistic interval model,
+// which predicts every cell of the default WIB/cache geometry grid; the
+// detailed core simulates only the calibration anchors, the -topk
+// predicted-best configs, and a seeded -audit slice of the pruned cells
+// that measures live model error. The output is a Pareto table (suite
+// IPC vs bit-vector bits vs cache bytes). Simulated cells carry
+// ordinary content-addressed IDs, so -cache-dir/-resume dedups them
+// against full sweeps, and re-running an exploration with -resume
+// executes nothing.
 //
 // The selected experiments expand into one campaign manifest — every
 // (configuration × benchmark) cell they need, deduplicated — which is
@@ -92,6 +105,11 @@ func main() {
 		telemDir  = flag.String("telemetry-dir", "", "write one JSONL telemetry series per cell into this directory")
 		sampleIvl = flag.Int64("sample-interval", 0, "telemetry sampling period in cycles (0 = default)")
 		pprofOut  = flag.String("pprof", "", "write a CPU profile of the whole sweep")
+
+		explore = flag.Bool("explore", false, "model-pruned design-space exploration instead of the experiment tables")
+		topK    = flag.Int("topk", 0, "explore: simulate the K best predicted configs in full (0 = 3)")
+		audit   = flag.Float64("audit", 0, "explore: fraction of pruned cells simulated to audit the model (0 = 0.1, negative disables)")
+		seed    = flag.Uint64("seed", 0, "explore: audit-slice selection seed (same seed + -resume re-executes nothing)")
 	)
 	flag.Var(&wloads, "workload", "workload ref (bench:NAME, trace:PATH, synth:SPEC); repeatable")
 	flag.Parse()
@@ -189,6 +207,11 @@ func main() {
 	if serr := s.StoreErr(); serr != nil {
 		fmt.Fprintf(os.Stderr, "experiments: cache unavailable, running without it: %v\n", serr)
 	}
+	if *explore {
+		runExplore(s, remote, harness.ExploreOptions{TopK: *topK, AuditFrac: *audit, Seed: *seed},
+			*progFlag, *watch, *server)
+		return
+	}
 	ids := strings.Split(*runIDs, ",")
 
 	// Prime the full campaign manifest so the worker pool crunches every
@@ -240,6 +263,47 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		pprof.StopCPUProfile() // os.Exit skips the deferred stop
+		os.Exit(1)
+	}
+}
+
+// runExplore runs the model-pruned design-space exploration over the
+// default WIB/cache geometry grid and renders its Pareto table. In
+// server mode the pruned/audited accounting is also reported to the
+// coordinator (an empty pruned-only submission), so the fleet's
+// progress snapshots and event stream cover the whole grid.
+func runExplore(s *harness.Session, remote *service.Client, opt harness.ExploreOptions, progFlag, watch bool, server string) {
+	var watcher *fleetWatch
+	var progress *campaign.Progress
+	if watch {
+		watcher = watchFleet(server)
+	} else if progFlag && isTerminal(os.Stderr) {
+		progress = campaign.NewProgress(s.Campaign(), os.Stderr, 0, 0)
+	}
+	rep, err := s.Explore(harness.ExploreGrid(), opt)
+	if progress != nil {
+		progress.Stop()
+	}
+	if watcher != nil {
+		watcher.stop()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: explore: %v\n", err)
+		os.Exit(1)
+	}
+	for _, t := range harness.ExploreTables(rep) {
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+	if remote != nil {
+		if _, perr := remote.SubmitPruned(nil, uint64(rep.Pruned), uint64(rep.Audited)); perr != nil {
+			fmt.Fprintf(os.Stderr, "experiments: reporting pruned counts: %v\n", perr)
+		}
+	}
+	fmt.Fprintln(os.Stderr, s.Campaign().Snapshot().Summary())
+	if fails := s.Failures(); len(fails) > 0 {
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprint(os.Stderr, s.FailureSummary())
 		os.Exit(1)
 	}
 }

@@ -5,13 +5,19 @@
 // Usage:
 //
 //	wibsim -bench art [-config base|wib|iq2k|wib256] [-instr N]
-//	       [-record-trace out.wtr]
+//	       [-predict] [-record-trace out.wtr]
 //	       [-skip N] [-measure N] [-sample n=50,period=200000,len=2000,warm=2000]
 //	       [-wib-entries N] [-bitvectors N] [-policy banked|program-order|rr-load|oldest-load]
 //	       [-mem-latency N] [-dump] [-deadline 30s] [-crash-dump crash.json]
 //	       [-watchdog N] [-lockstep]
 //	       [-telemetry] [-telemetry-out telemetry.jsonl] [-sample-interval N]
 //	       [-trace-out trace.json] [-kanata pipeline.kanata] [-pprof cpu.prof]
+//
+// -predict skips the detailed simulation entirely: one fast functional
+// profiling pass feeds the mechanistic interval model (DESIGN.md §14),
+// which prints a closed-form cycle/IPC estimate for the selected
+// configuration with a per-penalty-class term breakdown — the same
+// model `experiments -explore` prunes campaign sweeps with.
 //
 // -bench accepts any workload ref: a registry kernel name ("art"),
 // "trace:path.wtr" to replay a recorded trace, or "synth:mlp=4,..." for
@@ -43,6 +49,7 @@ import (
 	"largewindow/internal/core"
 	"largewindow/internal/emu"
 	"largewindow/internal/isa"
+	"largewindow/internal/model"
 	"largewindow/internal/sample"
 	"largewindow/internal/telemetry"
 	"largewindow/internal/trace"
@@ -52,6 +59,7 @@ import (
 func main() {
 	var (
 		bench   = flag.String("bench", "treeadd", "workload ref: kernel name, trace:PATH, or synth:SPEC (see -list)")
+		predict = flag.Bool("predict", false, "interval-model prediction instead of detailed simulation (one functional profiling pass)")
 		record  = flag.String("record-trace", "", "record the workload to this .wtr trace file and exit (budget = -instr, 0 = to halt)")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 		config  = flag.String("config", "base", "base, wib, iq2k, or custom")
@@ -156,6 +164,10 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *predict {
+		runPredict(src, sc, cfg, prog, budget)
+		return
 	}
 	if *smpl != "" {
 		runSampled(*smpl, src, sc, cfg, prog, *cycles, *deadline, *pprofOut)
@@ -268,6 +280,46 @@ func main() {
 		fmt.Println()
 		core.WriteTimeline(os.Stdout, p.Traces())
 	}
+}
+
+// runPredict profiles the workload functionally and prints the interval
+// model's closed-form estimate for the selected configuration, with the
+// per-penalty-class term breakdown the model decomposes cycles into.
+func runPredict(wl workload.Source, sc workload.Scale, cfg core.Config, prog *isa.Program, budget uint64) {
+	start := time.Now()
+	prof, err := model.Collect(prog, sc.String(), model.CollectOptions{
+		MaxInstr: budget,
+		Mem:      cfg.Mem,
+		Bpred:    cfg.Bpred,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	pr := model.Predict(prof, cfg)
+	elapsed := time.Since(start)
+	pct := func(term float64) float64 {
+		if pr.Cycles <= 0 {
+			return 0
+		}
+		return 100 * term / pr.Cycles
+	}
+	fmt.Printf("benchmark         %s (%s, %d static instrs)\n", wl.Name(), wl.Suite(), len(prog.Code))
+	fmt.Printf("configuration     %s (uncalibrated interval model)\n", cfg.Name)
+	fmt.Printf("profile           %d instructions in one functional pass (%s)\n",
+		prof.N, elapsed.Round(time.Millisecond))
+	fmt.Printf("effective window  %.0f (%s family)\n", pr.Weff, model.Family(cfg))
+	fmt.Printf("predicted cycles  %.0f\n", pr.Cycles)
+	fmt.Printf("predicted IPC     %.4f\n", pr.IPC)
+	fmt.Printf("  base dispatch   %12.0f  (%5.1f%%)\n", pr.Base, pct(pr.Base))
+	fmt.Printf("  long-miss       %12.0f  (%5.1f%%)  %.1f serialized of %d long misses\n",
+		pr.LongMiss, pct(pr.LongMiss), pr.SerialMisses, prof.LongLoadMisses)
+	fmt.Printf("  L2-hit          %12.0f  (%5.1f%%)\n", pr.L2Hit, pct(pr.L2Hit))
+	fmt.Printf("  branch          %12.0f  (%5.1f%%)  %d mispredicts, %d BTB misses\n",
+		pr.Branch, pct(pr.Branch), prof.Mispredicts, prof.BTBMisses)
+	fmt.Printf("  fetch           %12.0f  (%5.1f%%)  %d L1I misses\n", pr.Fetch, pct(pr.Fetch), prof.L1IMisses)
+	fmt.Printf("  TLB             %12.0f  (%5.1f%%)  %d D-TLB misses\n", pr.TLB, pct(pr.TLB), prof.TLBMisses)
+	fmt.Printf("  ramp            %12.0f  (%5.1f%%)\n", pr.Ramp, pct(pr.Ramp))
 }
 
 // runSampled executes one benchmark as a SMARTS-style sampled simulation

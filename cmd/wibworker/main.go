@@ -134,13 +134,14 @@ func main() {
 			wid = fmt.Sprintf("%s-%d", base, i)
 		}
 		w := service.NewWorker(service.WorkerOptions{
-			Server:   *server,
-			ID:       wid,
-			Exec:     session.ExecCell,
-			Classify: harness.Transient,
-			PollWait: *poll,
-			Log:      logger,
-			Metrics:  metrics,
+			Server:       *server,
+			ID:           wid,
+			Exec:         session.ExecCell,
+			ExecProgress: session.ExecCellWithProgress,
+			Classify:     harness.Transient,
+			PollWait:     *poll,
+			Log:          logger,
+			Metrics:      metrics,
 		})
 		workers[i] = w
 		wg.Add(1)

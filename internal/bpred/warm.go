@@ -19,3 +19,26 @@ func (p *Predictor) WarmBranch(pc, target uint64, taken, cond, btb bool) {
 		p.btb.Insert(pc, target)
 	}
 }
+
+// ProfileBranch trains exactly like WarmBranch but first asks the warmed
+// predictor what it would have guessed, reporting a direction mispredict
+// (conditional branches) and a BTB target miss (taken transfers that
+// train the BTB). The interval-model profiler (internal/model) drives it
+// on a private predictor to count mispredict events in one functional
+// pass; the BTB lookup counters it bumps belong to that private instance
+// and never reach a measured run.
+func (p *Predictor) ProfileBranch(pc, target uint64, taken, cond, btb bool) (mispredict, btbMiss bool) {
+	if cond {
+		pred, bim, glob := p.comb.Lookup(pc, p.ghr)
+		mispredict = pred != taken
+		p.comb.Update(pc, p.ghr, taken, bim, glob)
+		p.ghr = (p.ghr<<1 | b2u32(taken)) & p.ghrMask
+	}
+	if btb && taken {
+		if _, hit := p.btb.Lookup(pc); !hit {
+			btbMiss = true
+		}
+		p.btb.Insert(pc, target)
+	}
+	return mispredict, btbMiss
+}

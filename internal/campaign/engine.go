@@ -101,6 +101,12 @@ type Engine struct {
 	intervalsDone    atomic.Uint64
 	intervalsPlanned atomic.Uint64
 
+	// Model-pruned exploration counters, fed by the explore driver:
+	// cells the interval model predicted instead of simulating, and the
+	// audit subset of those simulated anyway to measure live model error.
+	modelPruned  atomic.Uint64
+	modelAudited atomic.Uint64
+
 	start time.Time
 }
 
@@ -129,8 +135,19 @@ func NewEngine(exec ExecFunc, opt Options) *Engine {
 	e.reg.CounterFunc("campaign.instrs", e.instrs.Load)
 	e.reg.CounterFunc("campaign.intervals.done", e.intervalsDone.Load)
 	e.reg.CounterFunc("campaign.intervals.planned", e.intervalsPlanned.Load)
+	e.reg.CounterFunc("campaign.cells.model_pruned", e.modelPruned.Load)
+	e.reg.CounterFunc("campaign.cells.model_audited", e.modelAudited.Load)
 	return e
 }
+
+// AddModelPruned registers n sweep cells the interval model answered in
+// place of the detailed core during a model-pruned exploration.
+func (e *Engine) AddModelPruned(n uint64) { e.modelPruned.Add(n) }
+
+// AddModelAudited registers n pruned-then-simulated audit cells — the
+// slice a model-pruned exploration executes anyway to measure live
+// prediction error.
+func (e *Engine) AddModelAudited(n uint64) { e.modelAudited.Add(n) }
 
 // AddPlannedIntervals registers n upcoming measured intervals of a
 // sampled cell starting execution.
@@ -356,6 +373,11 @@ type Snapshot struct {
 	// sampled cells).
 	IntervalsDone    uint64
 	IntervalsPlanned uint64
+
+	// Model-pruned exploration progress (zero unless a model-guided sweep
+	// is running).
+	ModelPruned  uint64
+	ModelAudited uint64
 }
 
 // Snapshot reads the engine's progress counters.
@@ -372,6 +394,8 @@ func (e *Engine) Snapshot() Snapshot {
 
 		IntervalsDone:    e.intervalsDone.Load(),
 		IntervalsPlanned: e.intervalsPlanned.Load(),
+		ModelPruned:      e.modelPruned.Load(),
+		ModelAudited:     e.modelAudited.Load(),
 	}
 	if e.opt.Checkpoints != nil {
 		s.HasCheckpoints = true
@@ -392,6 +416,9 @@ func (s Snapshot) Summary() string {
 	}
 	if s.HasCheckpoints {
 		out += fmt.Sprintf(", checkpoints: %d built / %d reused", s.CkptBuilt, s.CkptReused)
+	}
+	if s.ModelPruned > 0 {
+		out += fmt.Sprintf(", model: %d pruned / %d audited", s.ModelPruned, s.ModelAudited)
 	}
 	return out
 }

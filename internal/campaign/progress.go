@@ -86,6 +86,9 @@ func renderLine(s Snapshot, expected uint64) string {
 	if s.HasCheckpoints && s.CkptBuilt+s.CkptReused > 0 {
 		line += fmt.Sprintf(" · ckpt %d built/%d reused", s.CkptBuilt, s.CkptReused)
 	}
+	if s.ModelPruned > 0 {
+		line += fmt.Sprintf(" · model %d pruned/%d audited", s.ModelPruned, s.ModelAudited)
+	}
 	if s.IntervalsPlanned > 0 {
 		// Sampled campaign: committed instructions cover only the measured
 		// windows, so an instrs/s figure would wildly understate real

@@ -431,6 +431,15 @@ func (s *Session) resolveCell(cell campaign.Cell) (workload.Source, error) {
 // the processor, and runs one cell to completion. The engine wraps it
 // with panic isolation and the transient-retry policy.
 func (s *Session) execCell(cell campaign.Cell) (*campaign.Record, error) {
+	return s.execCellProgress(cell, nil)
+}
+
+// execCellProgress is execCell with an optional per-cell interval
+// progress callback (nil for local campaigns, whose progress feeds the
+// engine counters directly). Service workers thread the callback into
+// their lease heartbeats so the coordinator's ETA model sees fractional
+// in-flight progress on long sampled cells.
+func (s *Session) execCellProgress(cell campaign.Cell, onInterval func(done, planned int)) (*campaign.Record, error) {
 	src, err := s.resolveCell(cell)
 	if err != nil {
 		return nil, err
@@ -441,7 +450,7 @@ func (s *Session) execCell(cell campaign.Cell) (*campaign.Record, error) {
 		return nil, fmt.Errorf("harness: building %s: %w", resultKey(src), err)
 	}
 	if cell.Sampling != nil {
-		return s.execSampledCell(cell, src, prog)
+		return s.execSampledCell(cell, src, prog, onInterval)
 	}
 	p, err := core.New(cfg, prog)
 	if err != nil {
@@ -515,7 +524,7 @@ func (s *Session) execCell(cell campaign.Cell) (*campaign.Record, error) {
 // the record aggregates the measured windows into a point estimate with
 // a confidence interval. Interval completions feed the engine's progress
 // counters so a sampled campaign's progress line shows interval k/N.
-func (s *Session) execSampledCell(cell campaign.Cell, src workload.Source, prog *isa.Program) (*campaign.Record, error) {
+func (s *Session) execSampledCell(cell campaign.Cell, src workload.Source, prog *isa.Program, onInterval func(done, planned int)) (*campaign.Record, error) {
 	plan := *cell.Sampling
 	if !plan.Resolved() {
 		key := src.Identity() + "/" + cell.Scale.String()
@@ -539,8 +548,16 @@ func (s *Session) execSampledCell(cell campaign.Cell, src workload.Source, prog 
 		defer cancel()
 	}
 	s.eng.AddPlannedIntervals(uint64(plan.Intervals))
+	if onInterval != nil {
+		onInterval(0, plan.Intervals)
+	}
 	out, err := sample.Run(ctx, cell.Config, prog, plan, cell.MaxCycles,
-		func(done, planned int) { s.eng.IntervalDone() })
+		func(done, planned int) {
+			s.eng.IntervalDone()
+			if onInterval != nil {
+				onInterval(done, planned)
+			}
+		})
 	if err != nil {
 		var se *core.SimError
 		if errors.As(err, &se) {
@@ -642,12 +659,23 @@ func Transient(err error) bool {
 // raw single-shot execution — but still shares the session's checkpoint
 // cache across the cells it is leased.
 func (s *Session) ExecCell(cell campaign.Cell) (rec *campaign.Record, err error) {
+	return s.ExecCellWithProgress(cell, nil)
+}
+
+// ExecCellWithProgress is ExecCell with a per-cell interval progress
+// callback: onInterval(done, planned) fires once up front (done == 0,
+// announcing the plan size) and again as each measured window of a
+// sampled cell completes. Detailed (non-sampled) cells never invoke it.
+// Service workers pass a callback that stashes the counts for their next
+// lease heartbeat, letting the coordinator fold fractional in-flight
+// progress into the fleet ETA.
+func (s *Session) ExecCellWithProgress(cell campaign.Cell, onInterval func(done, planned int)) (rec *campaign.Record, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			rec, err = nil, fmt.Errorf("harness: panic executing %s: %v", cell, r)
 		}
 	}()
-	return s.execCell(cell)
+	return s.execCellProgress(cell, onInterval)
 }
 
 // RunAll simulates every selected benchmark under cfg, concurrently, and

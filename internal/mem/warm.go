@@ -40,8 +40,8 @@ func (c *Cache) Warm(addr uint64, store bool) (hit bool) {
 }
 
 // Warm installs the translation for addr without counting an access or a
-// miss.
-func (t *TLB) Warm(addr uint64) {
+// miss, reporting whether the translation was already present.
+func (t *TLB) Warm(addr uint64) (hit bool) {
 	t.tick++
 	page := addr >> t.pageShift
 	set := page & t.setMask
@@ -49,7 +49,7 @@ func (t *TLB) Warm(addr uint64) {
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == page {
 			ways[i].lru = t.tick
-			return
+			return true
 		}
 	}
 	victim := 0
@@ -63,6 +63,7 @@ func (t *TLB) Warm(addr uint64) {
 		}
 	}
 	ways[victim] = line{tag: page, valid: true, lru: t.tick}
+	return false
 }
 
 // warmData warms the data path for one access: the D-TLB and the L1D,
@@ -88,4 +89,58 @@ func (h *Hierarchy) WarmFetch(addr uint64) {
 	if !h.l1i.Warm(addr, false) {
 		h.l2.Warm(addr, false)
 	}
+}
+
+// WarmLevel classifies where a profiled warm touch was satisfied. The
+// interval-model profiler (internal/model) uses it to count per-level
+// miss events in one functional pass without the timing machinery.
+type WarmLevel uint8
+
+// Warm-touch hit levels.
+const (
+	// WarmHitL1 hit in the first-level cache (L1D or L1I).
+	WarmHitL1 WarmLevel = iota
+	// WarmHitL2 missed the first level and hit the L2.
+	WarmHitL2
+	// WarmHitMem missed both levels: the fill comes from main memory.
+	WarmHitMem
+)
+
+// profileData is warmData with hit classification: the same TLB/L1/L2
+// filtering, but reporting where the access landed.
+func (h *Hierarchy) profileData(addr uint64, store bool) (lvl WarmLevel, tlbMiss bool) {
+	if h.tlb != nil {
+		tlbMiss = !h.tlb.Warm(addr)
+	}
+	if h.l1d.Warm(addr, store) {
+		return WarmHitL1, tlbMiss
+	}
+	if h.l2.Warm(addr, false) {
+		return WarmHitL2, tlbMiss
+	}
+	return WarmHitMem, tlbMiss
+}
+
+// ProfileLoad warms the data path exactly like WarmLoad and reports the
+// hit level and whether the D-TLB missed.
+func (h *Hierarchy) ProfileLoad(addr uint64) (lvl WarmLevel, tlbMiss bool) {
+	return h.profileData(addr, false)
+}
+
+// ProfileStore warms the data path exactly like WarmStore and reports
+// the hit level and whether the D-TLB missed.
+func (h *Hierarchy) ProfileStore(addr uint64) (lvl WarmLevel, tlbMiss bool) {
+	return h.profileData(addr, true)
+}
+
+// ProfileFetch warms the instruction path exactly like WarmFetch and
+// reports the hit level.
+func (h *Hierarchy) ProfileFetch(addr uint64) WarmLevel {
+	if h.l1i.Warm(addr, false) {
+		return WarmHitL1
+	}
+	if h.l2.Warm(addr, false) {
+		return WarmHitL2
+	}
+	return WarmHitMem
 }

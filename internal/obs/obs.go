@@ -46,6 +46,7 @@ const (
 	EventComplete  = "complete"  // record persisted and visible
 	EventFail      = "fail"      // cell permanently failed
 	EventProgress  = "progress"  // periodic fleet progress snapshot
+	EventPrune     = "prune"     // model-pruned submit: cells answered by the interval model
 	EventDrain     = "drain"     // coordinator entered graceful shutdown
 	EventGap       = "gap"       // this subscriber missed Dropped events
 )
@@ -96,6 +97,17 @@ type Progress struct {
 	// ETASec is the extrapolated seconds to completion; negative means
 	// unknown (nothing finished yet, or nothing left).
 	ETASec float64 `json:"eta_sec"`
+
+	// Sampled-campaign interval progress, summed over in-flight leases
+	// from worker heartbeats. Zero outside sampled sweeps.
+	IntervalsDone    uint64 `json:"intervals_done,omitempty"`
+	IntervalsPlanned uint64 `json:"intervals_planned,omitempty"`
+
+	// Model-pruned sweep accounting: cells the interval model answered in
+	// place of detailed simulation, and the audit subset simulated anyway
+	// to measure live model error. Zero outside pruned sweeps.
+	ModelPruned  uint64 `json:"model_pruned,omitempty"`
+	ModelAudited uint64 `json:"model_audited,omitempty"`
 }
 
 // SaneRate divides total by secs, mapping every degenerate shape
@@ -122,6 +134,21 @@ func SaneETA(done, total uint64, elapsedSec float64) float64 {
 	}
 	perCell := elapsedSec / float64(done)
 	eta := perCell * float64(total-done)
+	if math.IsNaN(eta) || math.IsInf(eta, 0) || eta < 0 {
+		return -1
+	}
+	return eta
+}
+
+// SaneETAFrac is SaneETA over fractional progress: done may include
+// partial credit for in-flight cells (a sampled cell 30/100 intervals
+// in counts 0.3), which keeps long-cell fleet ETAs from sawtoothing
+// between heartbeats. The same degenerate shapes return -1 (unknown).
+func SaneETAFrac(done float64, total uint64, elapsedSec float64) float64 {
+	if done <= 0 || float64(total) <= done || elapsedSec <= 0 {
+		return -1
+	}
+	eta := elapsedSec / done * (float64(total) - done)
 	if math.IsNaN(eta) || math.IsInf(eta, 0) || eta < 0 {
 		return -1
 	}

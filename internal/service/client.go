@@ -103,7 +103,16 @@ func (c *Client) Exec(cell campaign.Cell) (*campaign.Record, error) {
 // coordinator can stitch this batch's lifecycle across the fleet; the
 // ID is ignored at zero cost when fleet tracing is disabled.
 func (c *Client) Submit(cells []campaign.Cell) (*SubmitResponse, error) {
-	req := SubmitRequest{Cells: cells, CorrID: obs.NewCorrID()}
+	return c.SubmitPruned(cells, 0, 0)
+}
+
+// SubmitPruned is Submit for model-pruned sweeps: pruned/audited report
+// how many grid cells the interval model answered without simulation
+// (and how many of this batch are the audit slice), so the coordinator's
+// progress snapshots and event stream account for the whole grid, not
+// just the surviving cells.
+func (c *Client) SubmitPruned(cells []campaign.Cell, pruned, audited uint64) (*SubmitResponse, error) {
+	req := SubmitRequest{Cells: cells, CorrID: obs.NewCorrID(), ModelPruned: pruned, ModelAudited: audited}
 	stamp(&req.SchemaVersion)
 	var resp SubmitResponse
 	if err := c.callCorr(http.MethodPost, PathSubmit, req.CorrID, &req, &resp); err != nil {

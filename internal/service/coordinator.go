@@ -100,6 +100,12 @@ type svcCell struct {
 	expiry  time.Time
 	worker  string
 
+	// Sampled-cell interval progress reported by the holder's heartbeats
+	// (done of planned measured windows); zero for detailed cells. Reset
+	// on every fresh lease — a re-dispatched cell starts over.
+	ivDone    uint64
+	ivPlanned uint64
+
 	rec    *campaign.Record
 	errMsg string
 	done   chan struct{} // closed on StatusDone / StatusFailed
@@ -132,6 +138,8 @@ type Coordinator struct {
 	leaseExpiries atomic.Uint64
 	rejected      atomic.Uint64
 	instrs        atomic.Uint64 // simulated instructions across completions
+	modelPruned   atomic.Uint64 // cells answered by the interval model, fleet-wide
+	modelAudited  atomic.Uint64 // pruned cells simulated anyway to audit the model
 
 	stopReaper   chan struct{}
 	reaperDone   chan struct{}
@@ -161,6 +169,8 @@ func NewCoordinator(opt CoordinatorOptions) *Coordinator {
 	c.reg.CounterFunc("service.lease_expiries", c.leaseExpiries.Load)
 	c.reg.CounterFunc("service.rejected", c.rejected.Load)
 	c.reg.CounterFunc("service.instrs", c.instrs.Load)
+	c.reg.CounterFunc("service.cells.model_pruned", c.modelPruned.Load)
+	c.reg.CounterFunc("service.cells.model_audited", c.modelAudited.Load)
 	c.reg.Gauge("service.queue.depth", func(int64) float64 {
 		c.mu.Lock()
 		defer c.mu.Unlock()
@@ -342,25 +352,46 @@ func (c *Coordinator) progressLoop() {
 
 // progress snapshots fleet progress with every rendered rate guarded
 // against NaN/Inf/negative shapes (campaign start, zero counters).
+// In-flight sampled cells contribute fractional credit to the ETA — a
+// cell 30/100 intervals in counts 0.3 done — so long-cell fleets don't
+// sawtooth between completions.
 func (c *Coordinator) progress() *obs.Progress {
 	c.mu.Lock()
 	depth, running := len(c.queue), len(c.leases)
+	var frac float64
+	var ivDone, ivPlanned uint64
+	for _, sc := range c.leases {
+		if sc.ivPlanned == 0 {
+			continue
+		}
+		ivDone += sc.ivDone
+		ivPlanned += sc.ivPlanned
+		if f := float64(sc.ivDone) / float64(sc.ivPlanned); f < 1 {
+			frac += f
+		} else {
+			frac += 1
+		}
+	}
 	c.mu.Unlock()
 	elapsed := time.Since(c.start).Seconds()
 	p := &obs.Progress{
-		Submitted:  c.submitted.Load(),
-		Done:       c.completed.Load(),
-		Failed:     c.failed.Load(),
-		Running:    running,
-		QueueDepth: depth,
-		CacheHits:  c.cacheHits.Load(),
-		Retries:    c.retries.Load(),
-		Requeues:   c.requeues.Load(),
-		Instrs:     c.instrs.Load(),
-		ElapsedSec: elapsed,
+		Submitted:        c.submitted.Load(),
+		Done:             c.completed.Load(),
+		Failed:           c.failed.Load(),
+		Running:          running,
+		QueueDepth:       depth,
+		CacheHits:        c.cacheHits.Load(),
+		Retries:          c.retries.Load(),
+		Requeues:         c.requeues.Load(),
+		Instrs:           c.instrs.Load(),
+		ElapsedSec:       elapsed,
+		IntervalsDone:    ivDone,
+		IntervalsPlanned: ivPlanned,
+		ModelPruned:      c.modelPruned.Load(),
+		ModelAudited:     c.modelAudited.Load(),
 	}
 	p.InstrsPerSec = obs.SaneRate(float64(p.Instrs), elapsed)
-	p.ETASec = obs.SaneETA(p.Done+p.Failed, p.Submitted, elapsed)
+	p.ETASec = obs.SaneETAFrac(float64(p.Done+p.Failed)+frac, p.Submitted, elapsed)
 	return p
 }
 
@@ -560,6 +591,22 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		c.broadcastLocked()
 	}
 	c.mu.Unlock()
+	// Model-pruned sweep accounting rides the submission that carries the
+	// surviving cells: fold the counts into the fleet counters and tell
+	// the event stream how much of the grid the model answered.
+	if req.ModelPruned > 0 || req.ModelAudited > 0 {
+		c.modelPruned.Add(req.ModelPruned)
+		c.modelAudited.Add(req.ModelAudited)
+		c.publish(obs.Event{
+			Type:   obs.EventPrune,
+			CorrID: corr,
+			Note: fmt.Sprintf("model pruned %d cells (%d audited) alongside %d submitted",
+				req.ModelPruned, req.ModelAudited, len(req.Cells)),
+		})
+		c.log(slog.LevelInfo, "model-pruned submission",
+			"pruned", req.ModelPruned, "audited", req.ModelAudited,
+			"cells", len(req.Cells), "corr_id", corr)
+	}
 	stamp(&resp.SchemaVersion)
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -643,6 +690,7 @@ func (c *Coordinator) leaseLocked(sc *svcCell, worker string) *Lease {
 	sc.leaseID = id
 	sc.worker = worker
 	sc.expiry = now.Add(c.opt.LeaseTTL)
+	sc.ivDone, sc.ivPlanned = 0, 0
 	sc.attempts++
 	c.span(obs.SpanQueued, sc, sc.queuedAt, now, "")
 	sc.leasedAt = now
@@ -676,6 +724,9 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	sc, ok := c.leases[req.LeaseID]
 	if ok {
 		sc.expiry = time.Now().Add(c.opt.LeaseTTL)
+		if req.IntervalsPlanned > 0 {
+			sc.ivDone, sc.ivPlanned = req.IntervalsDone, req.IntervalsPlanned
+		}
 		c.publish(cellEvent(obs.EventHeartbeat, sc))
 	}
 	c.mu.Unlock()
@@ -849,6 +900,8 @@ func (c *Coordinator) Stats() StatsResponse {
 		LeaseExpiries: c.leaseExpiries.Load(),
 		Rejected:      c.rejected.Load(),
 		Instrs:        c.instrs.Load(),
+		ModelPruned:   c.modelPruned.Load(),
+		ModelAudited:  c.modelAudited.Load(),
 		Draining:      draining,
 	}
 	stamp(&resp.SchemaVersion)

@@ -60,6 +60,14 @@ type SubmitRequest struct {
 	// the coordinator mints one (when tracing is enabled). Cells already
 	// known keep their original correlation.
 	CorrID string `json:"corr_id,omitempty"`
+	// ModelPruned/ModelAudited report a model-pruned sweep's accounting
+	// alongside the cells it did submit: how many grid cells the interval
+	// model answered without simulation, and how many of those are in
+	// this submission as an audit slice. The coordinator folds them into
+	// its progress snapshots and publishes a prune lifecycle event.
+	// Additive fields; absent (zero) for ordinary submissions.
+	ModelPruned  uint64 `json:"model_pruned,omitempty"`
+	ModelAudited uint64 `json:"model_audited,omitempty"`
 }
 
 // SubmitResponse acknowledges a submission.
@@ -108,11 +116,18 @@ type LeaseResponse struct {
 	Draining      bool   `json:"draining,omitempty"`
 }
 
-// HeartbeatRequest extends a lease's deadline.
+// HeartbeatRequest extends a lease's deadline. Sampled cells
+// additionally report measured-interval progress (additive fields, zero
+// for detailed cells), which the coordinator folds into its fleet ETA
+// as fractional in-flight credit.
 type HeartbeatRequest struct {
 	SchemaVersion int    `json:"schema_version"`
 	WorkerID      string `json:"worker_id"`
 	LeaseID       string `json:"lease_id"`
+	// IntervalsDone/IntervalsPlanned are the leased cell's sampled-run
+	// progress at heartbeat time: done of planned measured windows.
+	IntervalsDone    uint64 `json:"intervals_done,omitempty"`
+	IntervalsPlanned uint64 `json:"intervals_planned,omitempty"`
 }
 
 // CompleteRequest delivers one leased cell's outcome: a record on
@@ -164,11 +179,13 @@ type StatsResponse struct {
 	Completed     uint64 `json:"completed"`
 	Failed        uint64 `json:"failed"`
 	CacheHits     uint64 `json:"cache_hits"`
-	Retries       uint64 `json:"retries"`          // re-dispatches after classified-transient failures
-	Requeues      uint64 `json:"requeues"`         // cells returned to the queue by lease expiry
-	LeaseExpiries uint64 `json:"lease_expiries"`   // leases reaped (== lost/hung workers observed)
-	Rejected      uint64 `json:"rejected"`         // submissions bounced by backpressure
-	Instrs        uint64 `json:"instrs,omitempty"` // simulated instructions across completed cells
+	Retries       uint64 `json:"retries"`                 // re-dispatches after classified-transient failures
+	Requeues      uint64 `json:"requeues"`                // cells returned to the queue by lease expiry
+	LeaseExpiries uint64 `json:"lease_expiries"`          // leases reaped (== lost/hung workers observed)
+	Rejected      uint64 `json:"rejected"`                // submissions bounced by backpressure
+	Instrs        uint64 `json:"instrs,omitempty"`        // simulated instructions across completed cells
+	ModelPruned   uint64 `json:"model_pruned,omitempty"`  // cells answered by the interval model
+	ModelAudited  uint64 `json:"model_audited,omitempty"` // pruned cells simulated to audit the model
 	Draining      bool   `json:"draining"`
 }
 

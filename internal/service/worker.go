@@ -69,6 +69,12 @@ type WorkerOptions struct {
 	// Exec executes one cell. Service workers mount harness
 	// Session.ExecCell here; tests mount whatever chaos they need.
 	Exec campaign.ExecFunc
+	// ExecProgress, when set, is used instead of Exec: it receives a
+	// per-cell interval progress callback (harness
+	// Session.ExecCellWithProgress) whose counts the worker ships on its
+	// lease heartbeats, so the coordinator's ETA sees fractional
+	// in-flight progress on long sampled cells.
+	ExecProgress func(cell campaign.Cell, onInterval func(done, planned int)) (*campaign.Record, error)
 	// Classify reports whether an execution error is transient — worth
 	// the coordinator re-dispatching the cell (harness.Transient for real
 	// workers). nil classifies every failure permanent.
@@ -229,9 +235,17 @@ func (w *Worker) runLease(ls *Lease) {
 		"worker", w.opt.ID, "cell", ls.Cell.String(), "cell_id", ls.CellID,
 		"lease", ls.LeaseID, "corr_id", ls.CorrID, "attempt", ls.Attempt)
 	execDone := make(chan outcome, 1)
+	var ivDone, ivPlanned atomic.Uint64
 	go func() {
 		started := time.Now()
-		rec, err := w.execIsolated(ls.Cell)
+		rec, err := w.execIsolated(ls.Cell, func(done, planned int) {
+			if done >= 0 {
+				ivDone.Store(uint64(done))
+			}
+			if planned > 0 {
+				ivPlanned.Store(uint64(planned))
+			}
+		})
 		execDone <- outcome{rec, err, started, time.Now()}
 	}()
 	ttl := time.Duration(ls.TTLMS) * time.Millisecond
@@ -265,7 +279,7 @@ func (w *Worker) runLease(ls *Lease) {
 				continue
 			}
 			hbStart := time.Now()
-			if gone, err := w.heartbeat(ls); gone {
+			if gone, err := w.heartbeat(ls, ivDone.Load(), ivPlanned.Load()); gone {
 				// The reaper requeued the cell; our eventual result would
 				// be refused with 410. Let the execution finish (it cannot
 				// be interrupted) but drop it.
@@ -290,12 +304,15 @@ func (m *WorkerMetrics) noteLeaseLost() {
 }
 
 // execIsolated shields the worker loop from a panicking executor.
-func (w *Worker) execIsolated(cell campaign.Cell) (rec *campaign.Record, err error) {
+func (w *Worker) execIsolated(cell campaign.Cell, onInterval func(done, planned int)) (rec *campaign.Record, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			rec, err = nil, fmt.Errorf("worker: panic executing %s: %v", cell, r)
 		}
 	}()
+	if w.opt.ExecProgress != nil {
+		return w.opt.ExecProgress(cell, onInterval)
+	}
 	return w.opt.Exec(cell)
 }
 
@@ -390,10 +407,14 @@ func (w *Worker) lease(ctx context.Context) (*LeaseResponse, error) {
 	return &resp, nil
 }
 
-// heartbeat extends the lease; gone=true means the coordinator no longer
+// heartbeat extends the lease, carrying the cell's sampled-interval
+// progress when there is any; gone=true means the coordinator no longer
 // recognizes it.
-func (w *Worker) heartbeat(ls *Lease) (gone bool, err error) {
-	req := HeartbeatRequest{WorkerID: w.opt.ID, LeaseID: ls.LeaseID}
+func (w *Worker) heartbeat(ls *Lease, ivDone, ivPlanned uint64) (gone bool, err error) {
+	req := HeartbeatRequest{
+		WorkerID: w.opt.ID, LeaseID: ls.LeaseID,
+		IntervalsDone: ivDone, IntervalsPlanned: ivPlanned,
+	}
 	stamp(&req.SchemaVersion)
 	code, err := w.post(PathHeartbeat, ls.CorrID, &req, nil)
 	if err != nil {

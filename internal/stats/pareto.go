@@ -1,0 +1,74 @@
+package stats
+
+// Model-accuracy and design-space helpers shared by the mechanistic
+// interval model (internal/model), the explorer's Pareto frontier, and
+// the bench accuracy gates.
+
+// MeanAbsPctErr returns the mean absolute percentage error of pred
+// against truth, in percent: mean(|pred−truth| / truth) × 100. Pairs
+// whose truth is non-positive are undefined and skipped; mismatched
+// lengths or no defined pairs return 0, following the package's
+// degenerate-shape convention.
+func MeanAbsPctErr(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for i, t := range truth {
+		if !(t > 0) { // also rejects NaN
+			continue
+		}
+		d := pred[i] - t
+		if d < 0 {
+			d = -d
+		}
+		sum += d / t
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * sum / float64(n)
+}
+
+// Dominates reports whether point a Pareto-dominates point b under a
+// maximize-every-dimension convention (callers negate cost dimensions):
+// a is ≥ b in every dimension and > in at least one. Points of unequal
+// dimensionality never dominate each other.
+func Dominates(a, b []float64) bool {
+	if len(a) != len(b) || len(a) == 0 {
+		return false
+	}
+	strict := false
+	for i := range a {
+		if a[i] < b[i] {
+			return false
+		}
+		if a[i] > b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// ParetoFront returns the indices of the non-dominated points, in input
+// order. All dimensions are maximized (negate costs). Duplicate points
+// do not dominate each other, so every copy of a frontier point is
+// reported.
+func ParetoFront(points [][]float64) []int {
+	var front []int
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i != j && Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}

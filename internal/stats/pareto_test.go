@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestMeanAbsPctErr(t *testing.T) {
+	cases := []struct {
+		name        string
+		pred, truth []float64
+		want        float64
+	}{
+		{"empty", nil, nil, 0},
+		{"mismatched lengths", []float64{1}, []float64{1, 2}, 0},
+		{"exact", []float64{1, 2, 3}, []float64{1, 2, 3}, 0},
+		{"ten percent high", []float64{1.1, 2.2}, []float64{1, 2}, 10},
+		{"sign-symmetric", []float64{0.9, 1.1}, []float64{1, 1}, 10},
+		{"mixed magnitudes", []float64{2, 1}, []float64{1, 1}, 50},
+		{"zero truth skipped", []float64{5, 1.2}, []float64{0, 1}, 20},
+		{"nan truth skipped", []float64{5, 1.2}, []float64{math.NaN(), 1}, 20},
+		{"all truths degenerate", []float64{5, 6}, []float64{0, -1}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := MeanAbsPctErr(c.pred, c.truth)
+			if math.Abs(got-c.want) > 1e-9 {
+				t.Errorf("MeanAbsPctErr(%v, %v) = %v, want %v", c.pred, c.truth, got, c.want)
+			}
+		})
+	}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+		want bool
+	}{
+		{"strictly better", []float64{2, 2}, []float64{1, 1}, true},
+		{"better in one, equal in other", []float64{2, 1}, []float64{1, 1}, true},
+		{"equal points", []float64{1, 1}, []float64{1, 1}, false},
+		{"trade-off", []float64{2, 0}, []float64{1, 1}, false},
+		{"worse", []float64{0, 0}, []float64{1, 1}, false},
+		{"dimension mismatch", []float64{2, 2}, []float64{1}, false},
+		{"empty", nil, nil, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Dominates(c.a, c.b); got != c.want {
+				t.Errorf("Dominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		})
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	cases := []struct {
+		name   string
+		points [][]float64
+		want   []int
+	}{
+		{"empty", nil, nil},
+		{"single", [][]float64{{1, 1}}, []int{0}},
+		{"chain keeps best", [][]float64{{1, 1}, {2, 2}, {3, 3}}, []int{2}},
+		{
+			"classic trade-off curve",
+			// (IPC, −cost): all three corners survive, the interior point dies.
+			[][]float64{{3, -3}, {2, -2}, {1, -1}, {1.5, -2.5}},
+			[]int{0, 1, 2},
+		},
+		{"duplicates both kept", [][]float64{{1, 2}, {1, 2}}, []int{0, 1}},
+		{
+			"dominated duplicate pair removed",
+			[][]float64{{1, 1}, {1, 1}, {2, 2}},
+			[]int{2},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := ParetoFront(c.points)
+			if !reflect.DeepEqual(got, c.want) {
+				t.Errorf("ParetoFront(%v) = %v, want %v", c.points, got, c.want)
+			}
+		})
+	}
+}

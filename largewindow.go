@@ -44,6 +44,7 @@ import (
 	"largewindow/internal/core"
 	"largewindow/internal/emu"
 	"largewindow/internal/isa"
+	"largewindow/internal/model"
 	"largewindow/internal/sample"
 	"largewindow/internal/telemetry"
 	_ "largewindow/internal/trace" // register trace: and synth: workload schemes
@@ -247,6 +248,11 @@ type simOptions struct {
 	sampling       *SamplingPlan
 	workload       Workload
 	workloadScale  Scale
+
+	// ExploreContext knobs (WithModelPrune, WithWorkloadScale).
+	modelTopK      int
+	modelAuditFrac float64
+	modelSeed      uint64
 }
 
 // Option configures a SimulateContext run.
@@ -316,6 +322,32 @@ func WithWorkload(w Workload, scale Scale) Option {
 		o.workload = w
 		o.workloadScale = scale
 	}
+}
+
+// WithModelPrune tunes an ExploreContext sweep's pruning policy: the
+// detailed core simulates the calibration anchors, the topK configs the
+// calibrated interval model predicts best (0 = 3), and a deterministic
+// audit slice covering auditFrac of the pruned cells (0 = 0.1, negative
+// disables auditing); the model answers everything else in closed form.
+func WithModelPrune(topK int, auditFrac float64) Option {
+	return func(o *simOptions) {
+		o.modelTopK = topK
+		o.modelAuditFrac = auditFrac
+	}
+}
+
+// WithExploreSeed sets the audit-slice selection seed of an
+// ExploreContext sweep: the same seed re-selects the same audit cells,
+// so a repeated exploration finds every simulated cell memoized.
+func WithExploreSeed(seed uint64) Option {
+	return func(o *simOptions) { o.modelSeed = seed }
+}
+
+// WithWorkloadScale sets the benchmark scale for runs whose workloads
+// are named by ref rather than supplied as a Workload (ExploreContext).
+// The default is ScaleTest.
+func WithWorkloadScale(scale Scale) Option {
+	return func(o *simOptions) { o.workloadScale = scale }
 }
 
 // WithTelemetry attaches a cycle-sampled telemetry collector to the run
@@ -404,6 +436,52 @@ func SimulateContext(ctx context.Context, cfg Config, prog *Program, opts ...Opt
 		TLBMissRatio:     h.TLBMissRatio(),
 		Halted:           halted,
 	}, nil
+}
+
+// ExploreReport is the outcome of an ExploreContext sweep: per-cell
+// predictions (with measured results and live error where simulated),
+// per-config suite summaries, and the Pareto frontier over suite IPC,
+// bit-vector budget, and cache capacity.
+type ExploreReport = model.Report
+
+// ExploreContext runs a model-pruned design-space exploration of cfgs
+// over the named workloads (any ParseWorkloadRef refs): one fast
+// functional profiling pass per (workload, cache family) feeds a
+// mechanistic interval model that predicts every (config, workload)
+// cell in closed form; the detailed core simulates only the model's
+// calibration anchors, the predicted-best configs, and an audit slice
+// that measures live model error (see WithModelPrune). WithMaxInstr
+// bounds both the profiling pass and each simulated cell;
+// WithWorkloadScale sets the kernel scale. Cancellation via ctx aborts
+// the exploration at the next simulated cell.
+func ExploreContext(ctx context.Context, cfgs []Config, workloads []string, opts ...Option) (*ExploreReport, error) {
+	var o simOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	space := &model.Space{
+		Configs:      cfgs,
+		Benches:      workloads,
+		Scale:        o.workloadScale,
+		ProfileInstr: o.maxInstr,
+		TopK:         o.modelTopK,
+		AuditFrac:    o.modelAuditFrac,
+		Seed:         o.modelSeed,
+		Exec: func(cfg Config, bench string) (uint64, float64, error) {
+			src, err := ParseWorkloadRef(bench)
+			if err != nil {
+				return 0, 0, err
+			}
+			res, err := SimulateContext(ctx, cfg, nil,
+				WithWorkload(src, o.workloadScale),
+				WithMaxInstr(o.maxInstr), WithMaxCycles(o.maxCycles))
+			if err != nil {
+				return 0, 0, err
+			}
+			return uint64(res.Stats.Cycles), res.IPC(), nil
+		},
+	}
+	return space.Explore()
 }
 
 // Simulate runs prog on the given configuration until it halts or commits

@@ -1,28 +1,32 @@
 #!/bin/sh
 # Benchmark snapshot: runs the simulator- and emulator-throughput
-# benchmarks, the checkpointed-campaign and sampled-campaign speedup
-# benchmarks, and the Figure 4 headline benches at a FIXED -benchtime,
-# and writes the parsed results — instrs/s, allocs/op, checkpoint
-# speedup, and sampled-campaign speedup/error — to a JSON file (default
-# BENCH_PR8.json, the checked-in reference that scripts/check.sh gates
-# against).
+# benchmarks, the checkpointed-, sampled-, and model-pruned-campaign
+# speedup benchmarks, and the Figure 4 headline benches at a FIXED
+# -benchtime, and writes the parsed results — instrs/s, allocs/op,
+# checkpoint speedup, sampled-campaign speedup/error, and model-pruned
+# explore speedup/CPI error — to a JSON file (default BENCH_PR10.json,
+# the checked-in reference that scripts/check.sh gates against).
 #
 # Usage: scripts/bench.sh [out.json]
-#   BENCHTIME  -benchtime for the throughput benches (default 2s)
-#   FIG4TIME   -benchtime for the Fig4 suite benches  (default 1x)
-#   CKPTTIME   -benchtime for the checkpointed-campaign bench (default 1x)
-#   SAMPLETIME -benchtime for the sampled-campaign bench (default 1x;
-#              one iteration runs the full 18-kernel suite twice — once
-#              full-detail, once sampled — and takes about a minute)
+#   BENCHTIME   -benchtime for the throughput benches (default 2s)
+#   FIG4TIME    -benchtime for the Fig4 suite benches  (default 1x)
+#   CKPTTIME    -benchtime for the checkpointed-campaign bench (default 1x)
+#   SAMPLETIME  -benchtime for the sampled-campaign bench (default 1x;
+#               one iteration runs the full 18-kernel suite twice — once
+#               full-detail, once sampled — and takes about a minute)
+#   EXPLORETIME -benchtime for the model-pruned-campaign bench (default
+#               1x; one iteration runs a 30-config x 6-kernel sweep
+#               twice — once full-detail, once model-pruned)
 set -eu
 
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_PR8.json}
+out=${1:-BENCH_PR10.json}
 benchtime=${BENCHTIME:-2s}
 fig4time=${FIG4TIME:-1x}
 ckpttime=${CKPTTIME:-1x}
 sampletime=${SAMPLETIME:-1x}
+exploretime=${EXPLORETIME:-1x}
 
 raw=$(mktemp)
 parsed=$(mktemp)
@@ -40,6 +44,10 @@ echo "== bench: SampledCampaign (-benchtime $sampletime) =="
 go test -run '^$' -bench '^BenchmarkSampledCampaign$' \
     -benchtime "$sampletime" -timeout 30m -count 1 . | tee -a "$raw"
 
+echo "== bench: ModelPrunedCampaign (-benchtime $exploretime) =="
+go test -run '^$' -bench '^BenchmarkModelPrunedCampaign$' \
+    -benchtime "$exploretime" -timeout 30m -count 1 . | tee -a "$raw"
+
 echo "== bench: Fig4 + Fig4Conventional (-benchtime $fig4time) =="
 go test -run '^$' -bench '^BenchmarkFig4(Conventional)?$' \
     -benchtime "$fig4time" -benchmem -count 1 . | tee -a "$raw"
@@ -52,7 +60,7 @@ awk '
     sub(/-[0-9]+$/, "", name)      # strip the -GOMAXPROCS suffix
     sub(/^Benchmark/, "", name)
     ips = "null"; allocs = "null"; nsop = "null"; ckpt = "null"
-    smp = "null"; smperr = "null"
+    smp = "null"; smperr = "null"; xspd = "null"; mcerr = "null"
     for (i = 3; i < NF; i += 2) {
         if ($(i+1) == "instrs/s")       ips    = $i
         if ($(i+1) == "allocs/op")      allocs = $i
@@ -60,9 +68,11 @@ awk '
         if ($(i+1) == "ckpt-speedup")   ckpt   = $i
         if ($(i+1) == "sample-speedup") smp    = $i
         if ($(i+1) == "sample-ipc-err") smperr = $i
+        if ($(i+1) == "explore-speedup") xspd  = $i
+        if ($(i+1) == "model-cpi-err")  mcerr  = $i
     }
-    printf "{\"bench\":\"%s\",\"instrs_per_sec\":%s,\"allocs_per_op\":%s,\"ns_per_op\":%s,\"ckpt_speedup\":%s,\"sample_speedup\":%s,\"sample_ipc_err\":%s}\n", \
-        name, ips, allocs, nsop, ckpt, smp, smperr
+    printf "{\"bench\":\"%s\",\"instrs_per_sec\":%s,\"allocs_per_op\":%s,\"ns_per_op\":%s,\"ckpt_speedup\":%s,\"sample_speedup\":%s,\"sample_ipc_err\":%s,\"explore_speedup\":%s,\"model_cpi_err\":%s}\n", \
+        name, ips, allocs, nsop, ckpt, smp, smperr, xspd, mcerr
 }
 ' "$raw" >"$parsed"
 
@@ -71,8 +81,9 @@ jq -s \
     --arg fig4time "$fig4time" \
     --arg ckpttime "$ckpttime" \
     --arg sampletime "$sampletime" \
+    --arg exploretime "$exploretime" \
     --arg go "$(go version)" \
-    '{benchtime: $benchtime, fig4time: $fig4time, ckpttime: $ckpttime, sampletime: $sampletime, go: $go, results: .}' \
+    '{benchtime: $benchtime, fig4time: $fig4time, ckpttime: $ckpttime, sampletime: $sampletime, exploretime: $exploretime, go: $go, results: .}' \
     "$parsed" >"$out"
 
 echo "bench: wrote $(jq '.results | length' "$out") results to $out"
